@@ -1,0 +1,106 @@
+// Command contention fits the paper's analytical model from a handful of
+// measurement runs (the paper's input plans) and predicts the degree of
+// memory contention ω(n) across all core counts, optionally validating the
+// prediction against a full measured sweep.
+//
+// Usage:
+//
+//	contention -machine IntelNUMA24 -program CG -class C
+//	contention -machine AMDNUMA48 -program SP -class C -validate -step 4
+//	contention -machine AMDNUMA48 -program CG -class C -homogeneous
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/viz"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		machName    = flag.String("machine", "IntelNUMA24", "machine preset: "+strings.Join(machine.Names(), ", "))
+		program     = flag.String("program", "CG", "program: "+strings.Join(workload.Names(), ", "))
+		class       = flag.String("class", "C", "problem class")
+		scale       = flag.Float64("scale", 1.0, "workload iteration scale")
+		validate    = flag.Bool("validate", false, "also measure a full sweep and report model error")
+		step        = flag.Int("step", 2, "core-count step for the validation sweep")
+		homogeneous = flag.Bool("homogeneous", false, "fit with the reduced homogeneous-interconnect plan")
+		verbose     = flag.Bool("v", false, "log each simulation run")
+		plot        = flag.Bool("plot", false, "render an ASCII chart of the curves")
+	)
+	flag.Parse()
+
+	spec, err := machine.ByName(*machName)
+	if err != nil {
+		fatal(err)
+	}
+	r := experiments.NewRunner(workload.Tuning{RefScale: *scale})
+	if *verbose {
+		r.Progress = os.Stderr
+	}
+	opts := core.Options{Homogeneous: *homogeneous}
+	model, plan, err := r.FitFromPlan(spec, *program, workload.Class(*class), opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("# %s %s.%s — %s model fitted from C(n) at n=%v\n",
+		spec.Name, *program, *class, model.Kind, plan)
+	fmt.Printf("# single-processor fit: mu/r=%.4g L/r=%.4g R2=%.3f saturation at %.1f cores\n",
+		model.Single.MuOverR, model.Single.LOverR, model.Single.R2, model.Single.SaturationCores())
+	if model.Kind == core.UMA {
+		fmt.Printf("# UMA dC/core = %.4g cycles\n", model.DeltaCPerCore)
+	} else if len(model.Rho) > 0 {
+		fmt.Printf("# NUMA rho = %.4g stall cycles per remote core per miss\n", model.Rho[0])
+	}
+
+	if *validate {
+		counts := experiments.CoarseSweepCounts(spec, *step)
+		fig, err := r.ModelVsMeasurement(spec, *program, workload.Class(*class), counts, opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderModelFig(os.Stdout, fig, "Validation")
+		if *plot {
+			var ch viz.Chart
+			ch.Title = fmt.Sprintf("%s %s.%s: degree of contention", spec.Name, *program, *class)
+			ch.XLabel = "cores"
+			ch.YLabel = "omega"
+			xs := make([]float64, len(fig.Validation.Cores))
+			for i, n := range fig.Validation.Cores {
+				xs[i] = float64(n)
+			}
+			ch.Add(viz.Series{Name: "measured", X: xs, Y: fig.Validation.Measured})
+			ch.Add(viz.Series{Name: "model", X: xs, Y: fig.Validation.Modeled})
+			ch.Render(os.Stdout)
+		}
+		return
+	}
+	fmt.Printf("%6s %12s\n", "cores", "model ω")
+	var xs, ys []float64
+	for n := 1; n <= spec.TotalCores(); n++ {
+		fmt.Printf("%6d %12.3f\n", n, model.Omega(n))
+		xs = append(xs, float64(n))
+		ys = append(ys, model.Omega(n))
+	}
+	if *plot {
+		var ch viz.Chart
+		ch.Title = "predicted degree of contention"
+		ch.XLabel = "cores"
+		ch.YLabel = "omega"
+		ch.Add(viz.Series{Name: "model", X: xs, Y: ys})
+		ch.Render(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "contention:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,248 @@
+// Command experiments regenerates the paper's evaluation artifacts (Table
+// II, Fig. 3, Table III, Fig. 4, Fig. 5, Fig. 6, Table IV and the ablation
+// studies) on the simulated testbed.
+//
+// Usage:
+//
+//	experiments -run all                 # everything at full fidelity
+//	experiments -run fig5 -machine AMDNUMA48 -step 3
+//	experiments -run tableII -scale 0.25 # quarter-length workloads
+//
+// Output is the textual form of each table/figure: the same rows and
+// series the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		runWhat  = flag.String("run", "all", "experiment: tableII|fig3|tableIII|fig4|fig5|fig6|tableIV|ablations|oversub|sensitivity|speedup|whitebox|all")
+		datDir   = flag.String("dat", "", "also write gnuplot-ready .dat files for the figures into this directory")
+		jsonDir  = flag.String("json", "", "also write machine-readable .json results into this directory")
+		cacheArg = flag.String("cache", "", "persistent run-cache file: loaded at start, saved at exit")
+		machName = flag.String("machine", "all", "machine preset or 'all': "+strings.Join(machine.Names(), ", "))
+		scale    = flag.Float64("scale", 1.0, "workload iteration scale (lower = faster, noisier)")
+		step     = flag.Int("step", 1, "core-count step for figure sweeps (1 = every count)")
+		verbose  = flag.Bool("v", false, "log each simulation run")
+	)
+	flag.Parse()
+
+	specs, err := selectMachines(*machName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := experiments.NewRunner(workload.Tuning{RefScale: *scale})
+	if *verbose {
+		r.Progress = os.Stderr
+	}
+	if *cacheArg != "" {
+		n, err := r.LoadCache(*cacheArg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cache: %v\n", err)
+		} else if n > 0 {
+			fmt.Fprintf(os.Stderr, "cache: loaded %d runs from %s\n", n, *cacheArg)
+		}
+		defer func() {
+			if err := r.SaveCache(*cacheArg); err != nil {
+				fmt.Fprintf(os.Stderr, "cache: save failed: %v\n", err)
+			}
+		}()
+	}
+
+	run := func(name string, fn func() error) {
+		if *runWhat != "all" && *runWhat != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("tableII", func() error {
+		d, err := r.TableII(specs)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTableII(os.Stdout, d, specs)
+		if *jsonDir != "" {
+			return experiments.WriteJSON(*jsonDir, "tableII", d)
+		}
+		return nil
+	})
+	run("fig3", func() error {
+		for _, spec := range specs {
+			d, err := r.Fig3(spec, experiments.CoarseSweepCounts(spec, *step))
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig3(os.Stdout, d)
+			if *datDir != "" {
+				if err := experiments.WriteFig3Dat(*datDir, d); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
+		}
+		return nil
+	})
+	run("tableIII", func() error {
+		rows, err := experiments.TableIII()
+		if err != nil {
+			return err
+		}
+		experiments.RenderTableIII(os.Stdout, rows)
+		return nil
+	})
+	run("fig4", func() error {
+		// The paper's burstiness study runs on the Intel NUMA machine.
+		spec := machine.IntelNUMA24()
+		series, err := r.Fig4(spec)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig4(os.Stdout, series)
+		if *datDir != "" {
+			if err := experiments.WriteFig4Dat(*datDir, series); err != nil {
+				return err
+			}
+		}
+		if *jsonDir != "" {
+			return experiments.WriteJSON(*jsonDir, "fig4", series)
+		}
+		return nil
+	})
+	run("fig5", func() error {
+		for _, spec := range specs {
+			fig, err := r.Fig5(spec, experiments.CoarseSweepCounts(spec, *step))
+			if err != nil {
+				return err
+			}
+			experiments.RenderModelFig(os.Stdout, fig, "Fig. 5")
+			if *datDir != "" {
+				if err := experiments.WriteModelFigDat(*datDir, "fig5", fig); err != nil {
+					return err
+				}
+			}
+			if *jsonDir != "" {
+				if err := experiments.WriteJSON(*jsonDir, "fig5_"+spec.Name, fig); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
+		}
+		return nil
+	})
+	run("fig6", func() error {
+		for _, spec := range specs {
+			fig, err := r.Fig6(spec, experiments.CoarseSweepCounts(spec, *step))
+			if err != nil {
+				return err
+			}
+			experiments.RenderModelFig(os.Stdout, fig, "Fig. 6")
+			if *datDir != "" {
+				if err := experiments.WriteModelFigDat(*datDir, "fig6", fig); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
+		}
+		return nil
+	})
+	run("tableIV", func() error {
+		cells, err := r.TableIV(specs)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTableIV(os.Stdout, cells, specs)
+		return nil
+	})
+	run("oversub", func() error {
+		for _, spec := range specs {
+			points, err := r.Oversubscription(spec, "CG", workload.C)
+			if err != nil {
+				return err
+			}
+			experiments.RenderOversubscription(os.Stdout, spec, "CG", workload.C, points)
+			fmt.Println()
+		}
+		return nil
+	})
+	run("sensitivity", func() error {
+		for _, spec := range specs {
+			points, err := r.Sensitivity(spec, "CG", workload.C)
+			if err != nil {
+				return err
+			}
+			experiments.RenderSensitivity(os.Stdout, spec, "CG", workload.C, points)
+			fmt.Println()
+		}
+		return nil
+	})
+	run("speedup", func() error {
+		for _, spec := range specs {
+			d, err := r.SpeedupStudy(spec, "CG", workload.C, experiments.CoarseSweepCounts(spec, *step))
+			if err != nil {
+				return err
+			}
+			experiments.RenderSpeedup(os.Stdout, d)
+			fmt.Println()
+		}
+		return nil
+	})
+	run("whitebox", func() error {
+		for _, spec := range specs {
+			d, err := r.WhiteBoxStudy(spec, "CG", workload.C, experiments.CoarseSweepCounts(spec, *step))
+			if err != nil {
+				return err
+			}
+			experiments.RenderWhiteBox(os.Stdout, d)
+			fmt.Println()
+		}
+		return nil
+	})
+	run("ablations", func() error {
+		for _, spec := range specs {
+			if !spec.UMA() && spec.Sockets > 2 {
+				a, err := r.AblationInputs(spec, experiments.CoarseSweepCounts(spec, *step))
+				if err != nil {
+					return err
+				}
+				experiments.RenderAblationInputs(os.Stdout, a)
+			}
+			ctrl, err := r.AblationController(spec)
+			if err != nil {
+				return err
+			}
+			experiments.RenderAblationController(os.Stdout, ctrl)
+			closed, err := r.AblationClosedModel(spec, "CG", workload.C)
+			if err != nil {
+				return err
+			}
+			experiments.RenderAblationClosed(os.Stdout, closed)
+		}
+		return nil
+	})
+}
+
+func selectMachines(name string) ([]machine.Spec, error) {
+	if name == "all" {
+		return machine.All(), nil
+	}
+	spec, err := machine.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return []machine.Spec{spec}, nil
+}

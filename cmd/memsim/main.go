@@ -1,0 +1,107 @@
+// Command memsim runs one workload on one simulated machine and prints the
+// PAPI-style hardware counters plus memory-controller statistics — the
+// equivalent of the paper's papiex measurement runs.
+//
+// Usage:
+//
+//	memsim -machine IntelNUMA24 -program CG -class C -cores 12
+//	memsim -machine AMDNUMA48 -program SP -class C -cores 48 -placement interleave
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/counters"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		machName  = flag.String("machine", "IntelNUMA24", "machine preset: "+strings.Join(machine.Names(), ", "))
+		program   = flag.String("program", "CG", "program: "+strings.Join(workload.Names(), ", "))
+		class     = flag.String("class", "C", "problem class (S W A B C for NPB; simsmall..native for x264)")
+		cores     = flag.Int("cores", 0, "active cores, fill-processor-first (0 = all)")
+		threads   = flag.Int("threads", 0, "program threads (0 = machine cores, the paper's protocol)")
+		scale     = flag.Float64("scale", 1.0, "workload iteration scale")
+		placement = flag.String("placement", "first-touch", "NUMA page placement: first-touch|interleave")
+		perThread = flag.Bool("per-thread", false, "also print per-thread counters")
+		coherence = flag.Bool("coherence", false, "enable the MESI-style invalidation directory")
+	)
+	flag.Parse()
+
+	spec, err := machine.ByName(*machName)
+	if err != nil {
+		fatal(err)
+	}
+	wl, err := workload.NewTuned(*program, workload.Class(*class), workload.Tuning{RefScale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+	var place sim.Placement
+	switch *placement {
+	case "first-touch":
+		place = sim.FirstTouch
+	case "interleave":
+		place = sim.Interleave
+	default:
+		fatal(fmt.Errorf("unknown placement %q", *placement))
+	}
+
+	nThreads := *threads
+	if nThreads == 0 {
+		nThreads = spec.TotalCores()
+	}
+	cfg := sim.Config{
+		Spec:      spec,
+		Threads:   nThreads,
+		Cores:     *cores,
+		Placement: place,
+		Coherence: *coherence,
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = spec.TotalCores()
+	}
+
+	res, err := sim.Run(cfg, wl.Streams(nThreads))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("# %s %s.%s: %d threads on %d cores (%s placement)\n",
+		spec.Name, wl.Name(), wl.Class(), res.Threads, res.Cores, place)
+	fmt.Printf("# footprint %.1f MB, makespan %d cycles\n",
+		float64(wl.FootprintBytes())/(1<<20), res.Makespan)
+	fmt.Print(counters.FromResult(res))
+	fmt.Printf("%-16s %d\n", "OFFCHIP_REQ", res.OffChipRequests)
+	if *coherence {
+		fmt.Printf("%-16s %d\n", "INVALIDATIONS", res.Invalidations)
+	}
+
+	fmt.Println("\n# memory controllers")
+	for i, mc := range res.MCStats {
+		fmt.Printf("MC%-2d requests %10d  rowhit %5.1f%%  avg wait %7.1f  avg svc %6.1f  util %5.1f%%\n",
+			i, mc.Requests, 100*mc.RowHitRatio(), mc.AvgWait(), mc.AvgService(),
+			100*mc.Utilization(res.Makespan, spec.MC.Channels))
+	}
+	for i, b := range res.BusStats {
+		fmt.Printf("bus%-1d requests %10d  avg wait %7.1f\n", i, b.Requests, b.AvgWait())
+	}
+
+	if *perThread {
+		fmt.Println("\n# per-thread")
+		for i, th := range res.PerThread {
+			fmt.Printf("thread %-3d work %12d stall %12d memstall %12d offchip %9d remote %9d\n",
+				i, th.Work, th.Stall, th.MemStall, th.OffChip, th.Remote)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memsim:", err)
+	os.Exit(1)
+}

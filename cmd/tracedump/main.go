@@ -1,0 +1,151 @@
+// Command tracedump records workload reference streams to the binary trace
+// format and inspects recorded traces — useful for archiving the exact
+// traffic a paper experiment replayed, diffing workload-generator versions,
+// and feeding external tools.
+//
+// Usage:
+//
+//	tracedump -program CG -class W -threads 4 -out /tmp/cg.w      # record
+//	tracedump -in /tmp/cg.w.t0 -stats                             # inspect
+//	tracedump -in /tmp/cg.w.t0 -print -limit 20                   # dump refs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		program = flag.String("program", "CG", "program to record: "+strings.Join(workload.Names(), ", "))
+		class   = flag.String("class", "W", "problem class")
+		threads = flag.Int("threads", 1, "thread count (one trace file per thread)")
+		scale   = flag.Float64("scale", 1.0, "workload iteration scale")
+		out     = flag.String("out", "", "output path prefix; writes <out>.t<i> per thread")
+		in      = flag.String("in", "", "input trace to inspect instead of recording")
+		stats   = flag.Bool("stats", false, "print summary statistics of the input trace")
+		dump    = flag.Bool("print", false, "print references from the input trace")
+		limit   = flag.Int("limit", 50, "max references to print with -print")
+	)
+	flag.Parse()
+
+	switch {
+	case *in != "":
+		if err := inspect(*in, *stats || !*dump, *dump, *limit); err != nil {
+			fatal(err)
+		}
+	case *out != "":
+		if err := record(*program, workload.Class(*class), *threads, *scale, *out); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -out (record) or -in (inspect)"))
+	}
+}
+
+func record(program string, class workload.Class, threads int, scale float64, out string) error {
+	wl, err := workload.NewTuned(program, class, workload.Tuning{RefScale: scale})
+	if err != nil {
+		return err
+	}
+	streams := wl.Streams(threads)
+	for i, s := range streams {
+		path := fmt.Sprintf("%s.t%d", out, i)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		n, err := trace.Write(f, s)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d refs\n", path, n)
+	}
+	return nil
+}
+
+func inspect(path string, wantStats, wantDump bool, limit int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var refs, loads, stores, deps, syncs, work uint64
+	printed := 0
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		refs++
+		work += uint64(r.Work)
+		switch {
+		case r.Sync:
+			syncs++
+		case r.Kind == trace.Store:
+			stores++
+		default:
+			loads++
+		}
+		if r.Dep {
+			deps++
+		}
+		if wantDump && printed < limit {
+			kind := "load "
+			if r.Sync {
+				kind = "sync "
+			} else if r.Kind == trace.Store {
+				kind = "store"
+			}
+			dep := ""
+			if r.Dep {
+				dep = " dep"
+			}
+			fmt.Printf("%-6s addr=%#014x work=%d%s\n", kind, r.Addr, r.Work, dep)
+			printed++
+		}
+	}
+	if er, ok := s.(trace.ErrorReporter); ok && er.Err() != nil {
+		return er.Err()
+	}
+	if wantStats {
+		fmt.Printf("refs   %d\n", refs)
+		fmt.Printf("loads  %d\n", loads)
+		fmt.Printf("stores %d\n", stores)
+		fmt.Printf("syncs  %d\n", syncs)
+		fmt.Printf("deps   %d (%.1f%%)\n", deps, pct(deps, refs))
+		fmt.Printf("work   %d cycles (%.1f/ref)\n", work, float64(work)/float64(maxU(refs, 1)))
+	}
+	return nil
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracedump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Package burst analyzes the burstiness of off-chip memory traffic from
+// windowed miss counts (internal/sampler), reproducing the paper's Fig. 4
+// methodology: the distribution of burst sizes (number of requested cache
+// lines) is plotted as a log-log CCDF, and a long (power-law-like) tail
+// marks bursty traffic while its absence marks the saturated, non-bursty
+// traffic of large problem sizes.
+package burst
+
+import (
+	"errors"
+
+	"repro/internal/stats"
+)
+
+// Burst is a maximal run of consecutive non-empty sampling windows.
+type Burst struct {
+	// StartWindow is the index of the first window of the run.
+	StartWindow int
+	// Windows is the run length.
+	Windows int
+	// Lines is the total number of cache lines requested during the run —
+	// the paper's burst size.
+	Lines uint64
+}
+
+// Extract segments windowed miss counts into bursts.
+func Extract(windows []uint64) []Burst {
+	var bursts []Burst
+	var cur *Burst
+	for i, c := range windows {
+		if c == 0 {
+			cur = nil
+			continue
+		}
+		if cur == nil {
+			bursts = append(bursts, Burst{StartWindow: i})
+			cur = &bursts[len(bursts)-1]
+		}
+		cur.Windows++
+		cur.Lines += c
+	}
+	return bursts
+}
+
+// Sizes returns the burst sizes in cache lines as float64s, ready for CCDF
+// analysis.
+func Sizes(bursts []Burst) []float64 {
+	out := make([]float64, len(bursts))
+	for i, b := range bursts {
+		out[i] = float64(b.Lines)
+	}
+	return out
+}
+
+// Analysis summarizes the burstiness of one run's traffic.
+type Analysis struct {
+	// CCDF is P(BurstSize > x) over burst sizes in cache lines (Fig. 4's
+	// y-axis over its x-axis).
+	CCDF []stats.CCDFPoint
+	// Tail is the power-law fit of the CCDF for x >= TailXmin.
+	Tail stats.TailFit
+	// TailXmin is the tail cutoff used (the paper eyeballs linearity beyond
+	// ~50 lines; we fit from the 10th size percentile or 10 lines,
+	// whichever is larger).
+	TailXmin float64
+	// Bursts is the number of bursts.
+	Bursts int
+	// MaxLines is the largest burst.
+	MaxLines uint64
+	// TotalLines is the total traffic.
+	TotalLines uint64
+	// NonEmptyFraction is the fraction of windows with at least one miss.
+	NonEmptyFraction float64
+	// MeanLines is the mean burst size.
+	MeanLines float64
+}
+
+// ErrNoTraffic is returned when there are no misses to analyze.
+var ErrNoTraffic = errors.New("burst: no off-chip traffic recorded")
+
+// Analyze computes the burstiness profile of windowed miss counts.
+func Analyze(windows []uint64) (Analysis, error) {
+	bursts := Extract(windows)
+	if len(bursts) == 0 {
+		return Analysis{}, ErrNoTraffic
+	}
+	sizes := Sizes(bursts)
+	a := Analysis{
+		CCDF:   stats.CCDF(sizes),
+		Bursts: len(bursts),
+	}
+	nonEmpty := 0
+	for _, c := range windows {
+		if c > 0 {
+			nonEmpty++
+		}
+		a.TotalLines += c
+	}
+	if len(windows) > 0 {
+		a.NonEmptyFraction = float64(nonEmpty) / float64(len(windows))
+	}
+	for _, b := range bursts {
+		if b.Lines > a.MaxLines {
+			a.MaxLines = b.Lines
+		}
+	}
+	a.MeanLines = float64(a.TotalLines) / float64(len(bursts))
+
+	a.TailXmin = stats.Percentile(sizes, 10)
+	if a.TailXmin < 10 {
+		a.TailXmin = 10
+	}
+	if tail, err := stats.FitTail(a.CCDF, a.TailXmin); err == nil {
+		a.Tail = tail
+	}
+	return a, nil
+}
+
+// Verdict classifies traffic as bursty or non-bursty.
+type Verdict uint8
+
+const (
+	// NonBursty traffic saturates the memory system: almost every sampling
+	// window carries requests (large problem sizes in the paper).
+	NonBursty Verdict = iota
+	// Bursty traffic is sparse with a long-tailed burst-size distribution
+	// (small problem sizes).
+	Bursty
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	if v == Bursty {
+		return "bursty"
+	}
+	return "non-bursty"
+}
+
+// Classify applies the paper's observation as a decision rule: traffic is
+// non-bursty when the memory system is busy in most sampling windows
+// ("there are no significant time intervals without memory requests"), and
+// bursty otherwise.
+func (a Analysis) Classify() Verdict {
+	if a.NonEmptyFraction >= 0.5 {
+		return NonBursty
+	}
+	return Bursty
+}

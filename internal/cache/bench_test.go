@@ -1,0 +1,32 @@
+package cache
+
+import "testing"
+
+func benchCache(b *testing.B, policy Policy) {
+	c, err := New(Config{Name: "b", Size: 256 << 10, Line: 64, Ways: 8, Latency: 10, Policy: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Mixed pattern: stride with periodic reuse.
+		c.Access(uint64(i%100000) * 64)
+	}
+}
+
+func BenchmarkAccessLRU(b *testing.B)    { benchCache(b, LRU) }
+func BenchmarkAccessPLRU(b *testing.B)   { benchCache(b, PLRU) }
+func BenchmarkAccessRandom(b *testing.B) { benchCache(b, Random) }
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	l1, _ := New(Config{Name: "L1", Size: 2 << 10, Line: 64, Ways: 8, Latency: 4})
+	l2, _ := New(Config{Name: "L2", Size: 16 << 10, Line: 64, Ways: 8, Latency: 10})
+	l3, _ := New(Config{Name: "L3", Size: 768 << 10, Line: 64, Ways: 12, Latency: 38})
+	h := NewHierarchy(l1, l2, l3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i%200000) * 64)
+	}
+}

@@ -1,0 +1,310 @@
+// Package cache simulates set-associative cache memories and multi-level
+// cache hierarchies. It filters the memory-reference streams produced by
+// workloads so that only last-level misses become off-chip requests — the
+// quantity whose contention behaviour the paper studies.
+//
+// The simulator is single-threaded (discrete-event), so caches are not
+// safe for concurrent use and require no locking. Coherence traffic is not
+// modeled: the paper's workloads partition their data between threads, and
+// the observations of interest (LLC miss counts roughly independent of the
+// number of active cores) hold without invalidation effects.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Policy selects a replacement policy.
+type Policy uint8
+
+const (
+	// LRU evicts the least-recently-used way (exact, per-set timestamps).
+	LRU Policy = iota
+	// PLRU evicts following a tree-based pseudo-LRU (requires power-of-two
+	// associativity).
+	PLRU
+	// Random evicts a uniformly random way (deterministic per seed).
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case PLRU:
+		return "plru"
+	case Random:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes one cache level.
+type Config struct {
+	// Name identifies the level in stats output ("L1", "L2", "L3").
+	Name string
+	// Size is the total capacity in bytes.
+	Size uint64
+	// Line is the cache-line size in bytes (power of two).
+	Line uint64
+	// Ways is the associativity. Size/(Line*Ways) must be a power of two.
+	Ways int
+	// Latency is the hit latency in cycles.
+	Latency uint64
+	// Policy selects the replacement policy (default LRU).
+	Policy Policy
+	// Seed seeds the Random policy.
+	Seed int64
+	// NextLinePrefetch, when set, inserts line+1 on every demand miss,
+	// modeling a simple hardware prefetcher.
+	NextLinePrefetch bool
+}
+
+// Stats counts the accesses observed by one cache.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Evictions  uint64
+	Prefetches uint64
+}
+
+// MissRatio returns Misses/Accesses, or 0 for an untouched cache.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg      Config
+	sets     int
+	setMask  uint64
+	lineBits uint
+	tags     []uint64 // sets*ways entries
+	valid    []bool
+	lastUse  []uint64 // LRU timestamps
+	plru     []uint64 // per-set PLRU tree bits
+	tick     uint64
+	rng      *rand.Rand
+	stats    Stats
+}
+
+// New validates cfg and constructs the cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Line == 0 || bits.OnesCount64(cfg.Line) != 1 {
+		return nil, fmt.Errorf("cache %s: line size %d must be a power of two", cfg.Name, cfg.Line)
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache %s: ways %d must be positive", cfg.Name, cfg.Ways)
+	}
+	if cfg.Size == 0 || cfg.Size%(cfg.Line*uint64(cfg.Ways)) != 0 {
+		return nil, fmt.Errorf("cache %s: size %d not divisible by line*ways", cfg.Name, cfg.Size)
+	}
+	sets := cfg.Size / (cfg.Line * uint64(cfg.Ways))
+	if bits.OnesCount64(sets) != 1 {
+		return nil, fmt.Errorf("cache %s: set count %d must be a power of two", cfg.Name, sets)
+	}
+	if cfg.Policy == PLRU && bits.OnesCount(uint(cfg.Ways)) != 1 {
+		return nil, fmt.Errorf("cache %s: PLRU requires power-of-two ways, got %d", cfg.Name, cfg.Ways)
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     int(sets),
+		setMask:  sets - 1,
+		lineBits: uint(bits.TrailingZeros64(cfg.Line)),
+		tags:     make([]uint64, int(sets)*cfg.Ways),
+		valid:    make([]bool, int(sets)*cfg.Ways),
+	}
+	switch cfg.Policy {
+	case LRU:
+		c.lastUse = make([]uint64, len(c.tags))
+	case PLRU:
+		c.plru = make([]uint64, sets)
+	case Random:
+		c.rng = rand.New(rand.NewSource(cfg.Seed))
+	default:
+		return nil, fmt.Errorf("cache %s: unknown policy %d", cfg.Name, cfg.Policy)
+	}
+	return c, nil
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Stats returns a copy of the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// lineOf returns the line-granular tag of an address.
+func (c *Cache) lineOf(addr uint64) uint64 { return addr >> c.lineBits }
+
+// Access looks up addr, allocating on miss, and reports whether it hit.
+// Stores allocate like loads (write-allocate); dirty-line writeback traffic
+// is not modeled separately.
+func (c *Cache) Access(addr uint64) bool {
+	hit := c.touch(addr, false)
+	if !hit && c.cfg.NextLinePrefetch {
+		line := c.lineOf(addr)
+		c.touch((line+1)<<c.lineBits, true)
+	}
+	return hit
+}
+
+// touch performs the lookup/fill. prefetch suppresses demand counters.
+func (c *Cache) touch(addr uint64, prefetch bool) bool {
+	line := c.lineOf(addr)
+	set := int(line & c.setMask)
+	base := set * c.cfg.Ways
+	if !prefetch {
+		c.stats.Accesses++
+	} else {
+		c.stats.Prefetches++
+	}
+	c.tick++
+
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.noteUse(set, w)
+			return true
+		}
+	}
+	if !prefetch {
+		c.stats.Misses++
+	}
+	// Fill: pick an invalid way first, else evict per policy.
+	victim := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = c.victim(set)
+		c.stats.Evictions++
+	}
+	i := base + victim
+	c.tags[i] = line
+	c.valid[i] = true
+	c.noteUse(set, victim)
+	return false
+}
+
+// Contains reports whether addr's line is resident without updating
+// replacement state or counters.
+func (c *Cache) Contains(addr uint64) bool {
+	line := c.lineOf(addr)
+	base := int(line&c.setMask) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr's line from the cache if present, returning
+// whether a copy was dropped. Used by the coherence directory to model
+// cross-socket invalidations; counters are not affected.
+func (c *Cache) Invalidate(addr uint64) bool {
+	line := c.lineOf(addr)
+	base := int(line&c.setMask) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			c.valid[base+w] = false
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the whole cache, leaving counters intact.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// ResetStats zeroes the access counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// noteUse updates replacement metadata after way w of set was referenced.
+func (c *Cache) noteUse(set, w int) {
+	switch c.cfg.Policy {
+	case LRU:
+		c.lastUse[set*c.cfg.Ways+w] = c.tick
+	case PLRU:
+		c.plruTouch(set, w)
+	}
+}
+
+// victim selects the way to evict from a full set.
+func (c *Cache) victim(set int) int {
+	switch c.cfg.Policy {
+	case LRU:
+		base := set * c.cfg.Ways
+		best, bestUse := 0, c.lastUse[base]
+		for w := 1; w < c.cfg.Ways; w++ {
+			if u := c.lastUse[base+w]; u < bestUse {
+				best, bestUse = w, u
+			}
+		}
+		return best
+	case PLRU:
+		return c.plruVictim(set)
+	case Random:
+		return c.rng.Intn(c.cfg.Ways)
+	}
+	return 0
+}
+
+// plruTouch flips the tree bits on the path to way w to point away from it.
+func (c *Cache) plruTouch(set, w int) {
+	ways := c.cfg.Ways
+	bitsState := c.plru[set]
+	node := 0 // root of implicit binary tree over ways
+	lo, hi := 0, ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if w < mid {
+			// Went left: point the bit right (away from w).
+			bitsState |= 1 << uint(node)
+			node = 2*node + 1
+			hi = mid
+		} else {
+			bitsState &^= 1 << uint(node)
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+	c.plru[set] = bitsState
+}
+
+// plruVictim follows the tree bits to the pseudo-LRU way.
+func (c *Cache) plruVictim(set int) int {
+	ways := c.cfg.Ways
+	bitsState := c.plru[set]
+	node := 0
+	lo, hi := 0, ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if bitsState&(1<<uint(node)) != 0 {
+			// Bit points right.
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,103 @@
+package cache
+
+// Hierarchy is an ordered list of cache levels searched from fastest to
+// slowest. Levels may be shared between several Hierarchy values (e.g. a
+// per-core L1 in front of a socket-shared L3): sharing is expressed simply
+// by placing the same *Cache pointer in several hierarchies.
+type Hierarchy struct {
+	levels []*Cache
+	// MemLatency is the flat latency charged on a full miss in addition to
+	// the per-level hit latencies; the memory-controller queueing delay is
+	// modeled separately by internal/memctrl.
+	stats HierarchyStats
+}
+
+// HierarchyStats aggregates per-hierarchy outcomes (the per-level counters
+// live on the individual caches, which may be shared).
+type HierarchyStats struct {
+	Accesses uint64
+	// LLCMisses counts accesses that missed every level — the off-chip
+	// requests.
+	LLCMisses uint64
+}
+
+// Result describes the outcome of one hierarchy access.
+type Result struct {
+	// HitLevel is the index of the level that hit, or -1 on a full miss.
+	HitLevel int
+	// Latency is the sum of hit latencies of all levels probed. On a full
+	// miss it includes every level's latency; DRAM time is added by the
+	// memory-controller model.
+	Latency uint64
+	// Miss reports a full miss (off-chip request required).
+	Miss bool
+}
+
+// NewHierarchy builds a hierarchy over the given levels (fastest first).
+func NewHierarchy(levels ...*Cache) *Hierarchy {
+	return &Hierarchy{levels: append([]*Cache(nil), levels...)}
+}
+
+// Levels returns the cache levels (fastest first).
+func (h *Hierarchy) Levels() []*Cache { return h.levels }
+
+// Stats returns a copy of the per-hierarchy counters.
+func (h *Hierarchy) Stats() HierarchyStats { return h.stats }
+
+// LLC returns the last (slowest, largest) level, or nil for an empty
+// hierarchy.
+func (h *Hierarchy) LLC() *Cache {
+	if len(h.levels) == 0 {
+		return nil
+	}
+	return h.levels[len(h.levels)-1]
+}
+
+// Access walks the hierarchy for addr: each level is probed in order and,
+// on a miss, the line is allocated there (inclusive fill) before probing the
+// next level. The returned Result carries the accumulated latency and
+// whether the access must go off-chip.
+func (h *Hierarchy) Access(addr uint64) Result {
+	h.stats.Accesses++
+	res := Result{HitLevel: -1}
+	for i, lvl := range h.levels {
+		res.Latency += lvl.cfg.Latency
+		if lvl.Access(addr) {
+			res.HitLevel = i
+			return res
+		}
+	}
+	res.Miss = true
+	h.stats.LLCMisses++
+	return res
+}
+
+// Invalidate removes addr's line from every level, returning whether any
+// level held a copy.
+func (h *Hierarchy) Invalidate(addr uint64) bool {
+	dropped := false
+	for _, lvl := range h.levels {
+		if lvl.Invalidate(addr) {
+			dropped = true
+		}
+	}
+	return dropped
+}
+
+// Flush invalidates every level.
+func (h *Hierarchy) Flush() {
+	for _, lvl := range h.levels {
+		lvl.Flush()
+	}
+}
+
+// ResetStats zeroes the hierarchy counters and every level's counters.
+// Note that shared levels are reset once per call even if referenced by
+// several hierarchies; callers resetting a machine should reset each
+// distinct cache exactly once (see internal/machine).
+func (h *Hierarchy) ResetStats() {
+	h.stats = HierarchyStats{}
+	for _, lvl := range h.levels {
+		lvl.ResetStats()
+	}
+}

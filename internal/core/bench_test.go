@@ -1,0 +1,35 @@
+package core
+
+import "testing"
+
+func BenchmarkFitNUMA(b *testing.B) {
+	meas := []Measurement{
+		{Cores: 1, Cycles: 1e9, LLCMisses: 1e6},
+		{Cores: 12, Cycles: 2.2e9, LLCMisses: 1e6},
+		{Cores: 13, Cycles: 2.3e9, LLCMisses: 1e6},
+		{Cores: 25, Cycles: 2.9e9, LLCMisses: 1e6},
+		{Cores: 37, Cycles: 3.4e9, LLCMisses: 1e6},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(NUMA, 4, 12, meas, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelCurve(b *testing.B) {
+	m, err := Fit(NUMA, 4, 12, []Measurement{
+		{Cores: 1, Cycles: 1e9, LLCMisses: 1e6},
+		{Cores: 12, Cycles: 2.2e9, LLCMisses: 1e6},
+		{Cores: 13, Cycles: 2.3e9, LLCMisses: 1e6},
+	}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Curve(48)
+	}
+}

@@ -1,0 +1,479 @@
+// Package core implements the paper's contribution: an analytical queueing
+// model of off-chip memory contention in multicore systems (section IV).
+//
+// The model relates the total cycles C(n) a parallel program needs on n
+// active cores to the number of cores and the problem size:
+//
+//	C(n) = W(n) + B(n) + M(n)                            (1)
+//	M(n) = C(n) - C(1)                                   (2)
+//	ω(n) = (C(n) - C(1)) / C(1)   degree of contention   (4)
+//
+// Within one processor, large problem sizes produce non-bursty memory
+// traffic (section III), so the memory controller is modeled as an M/M/1
+// queue with per-core arrival rate L and service rate μ:
+//
+//	C(n) = r(n) / (μ - nL)                               (6)
+//
+// which makes 1/C(n) linear in n — the property Table IV tests — and lets
+// μ and L be recovered by linear regression from as few as two measurement
+// runs. Across processors the model decomposes hierarchically:
+//
+//	UMA:  C(n) = C(c) + C(n-c) + ΔC                      (8)
+//	NUMA: C(n) = C(c) + r(n)·ρ·(n-c)                     (11)
+//
+// where c is the cores per processor, ΔC captures the extra load on the
+// shared controller, and ρ is the average per-core remote-access stall —
+// "an average weighted to the number of memory requests to each of the
+// remote memories" — fitted by regression over every remote measurement
+// point, so machines with several interconnect latency classes (the AMD
+// system) are modeled accurately. Restricting the fit to the first remote
+// point is the paper's degraded "homogeneous interconnect" variant
+// (Options.Homogeneous). Both composition rules are implemented with the
+// proportional access split that equation (10) derives; see the DESIGN.md
+// appendix for why the literal forms cannot track the measurements.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Measurement is one profiling run: total cycles and LLC misses observed
+// with a given number of active cores.
+type Measurement struct {
+	// Cores is the number of active cores n.
+	Cores int
+	// Cycles is C(n), summed over threads.
+	Cycles float64
+	// LLCMisses is r(n).
+	LLCMisses float64
+}
+
+// Omega computes the degree of memory contention ω(n) (definition 1):
+// (C(n) - C(1)) / C(1). Negative values indicate positive cache effects.
+func Omega(cn, c1 float64) float64 {
+	if c1 == 0 {
+		return math.NaN()
+	}
+	return (cn - c1) / c1
+}
+
+// Errors returned by the fitting functions.
+var (
+	ErrTooFewMeasurements = errors.New("core: need at least two single-socket measurements")
+	ErrNoBaseline         = errors.New("core: need a measurement at n=1")
+	ErrBadGeometry        = errors.New("core: invalid machine geometry")
+)
+
+// SingleFit is the fitted single-processor M/M/1 model: 1/C(n) regressed
+// on n gives intercept μ/r and slope -L/r.
+type SingleFit struct {
+	// MuOverR and LOverR are the normalized queue parameters (μ/r, L/r).
+	MuOverR float64
+	LOverR  float64
+	// R2 is the goodness-of-fit of the 1/C(n) linearity (Table IV).
+	R2 float64
+	// N is the number of measurements used.
+	N int
+}
+
+// C predicts the single-processor cycle count at n cores: r/(μ-nL).
+// Beyond the saturation point μ/L the M/M/1 model diverges and C returns
+// +Inf.
+func (f SingleFit) C(n int) float64 {
+	den := f.MuOverR - f.LOverR*float64(n)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / den
+}
+
+// SaturationCores returns μ/L: the core count at which the modeled
+// controller saturates.
+func (f SingleFit) SaturationCores() float64 {
+	if f.LOverR <= 0 {
+		return math.Inf(1)
+	}
+	return f.MuOverR / f.LOverR
+}
+
+// FitSingle fits the M/M/1 parameters from measurements taken within one
+// processor (n from 1 to cores-per-socket), per equation (6).
+func FitSingle(meas []Measurement) (SingleFit, error) {
+	if len(meas) < 2 {
+		return SingleFit{}, ErrTooFewMeasurements
+	}
+	var xs, ys []float64
+	for _, m := range meas {
+		if m.Cycles <= 0 {
+			return SingleFit{}, fmt.Errorf("core: non-positive cycles at n=%d", m.Cores)
+		}
+		xs = append(xs, float64(m.Cores))
+		ys = append(ys, 1/m.Cycles)
+	}
+	fit, err := stats.FitLinear(xs, ys)
+	if err != nil {
+		return SingleFit{}, err
+	}
+	return SingleFit{
+		MuOverR: fit.Intercept,
+		LOverR:  -fit.Slope,
+		R2:      fit.R2,
+		N:       len(meas),
+	}, nil
+}
+
+// LinearityR2 returns the Table IV statistic: the R² of regressing 1/C(n)
+// on n over the given measurements.
+func LinearityR2(meas []Measurement) (float64, error) {
+	f, err := FitSingle(meas)
+	if err != nil {
+		return 0, err
+	}
+	return f.R2, nil
+}
+
+// Kind distinguishes the multi-processor extension used.
+type Kind uint8
+
+const (
+	// UMA uses equation (8) with the fitted ΔC term.
+	UMA Kind = iota
+	// NUMA uses equation (11) with per-socket ρ terms.
+	NUMA
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == UMA {
+		return "UMA"
+	}
+	return "NUMA"
+}
+
+// Model is the full fitted machine model.
+type Model struct {
+	// Kind selects the multiprocessor extension.
+	Kind Kind
+	// Sockets and CoresPerSocket give the machine geometry.
+	Sockets        int
+	CoresPerSocket int
+	// Single is the single-processor M/M/1 fit.
+	Single SingleFit
+	// DeltaCPerCore is the fitted UMA ΔC per core activated beyond the
+	// first processor.
+	DeltaCPerCore float64
+	// Rho holds the fitted NUMA per-core remote stall terms: Rho[k] applies
+	// to cores on socket k+1 (socket indices 1..Sockets-1).
+	Rho []float64
+	// RefMisses is the r(n) used to convert ρ terms to cycles (the paper
+	// holds r(n) constant).
+	RefMisses float64
+	// C1 is the modeled baseline C(1) used for ω.
+	C1 float64
+}
+
+// coresOnSocket returns how many of the first n fill-first cores land on
+// socket s.
+func coresOnSocket(n, coresPerSocket, s int) int {
+	lo := s * coresPerSocket
+	if n <= lo {
+		return 0
+	}
+	m := n - lo
+	if m > coresPerSocket {
+		m = coresPerSocket
+	}
+	return m
+}
+
+// C predicts the total cycles at n active cores under fill-processor-first
+// activation.
+func (m Model) C(n int) float64 {
+	c := m.CoresPerSocket
+	if n <= c {
+		return m.Single.C(n)
+	}
+	switch m.Kind {
+	case UMA:
+		// Equation (8) with the proportional-split reading the paper's own
+		// NUMA derivation (equation 10) uses: memory accesses divide
+		// proportionally among sockets, so a socket running k of the n
+		// cores contributes (k/n)·C(k) through its private bus, and ΔC
+		// accounts for the extra load on the shared memory controller.
+		total := 0.0
+		for s := 0; s < m.Sockets; s++ {
+			if k := coresOnSocket(n, c, s); k > 0 {
+				total += float64(k) / float64(n) * m.Single.C(k)
+			}
+		}
+		return total + m.DeltaCPerCore*float64(n-c)
+	default: // NUMA
+		// Equation (11) in the form equation (10) derives it: memory
+		// accesses divide proportionally among the active sockets, so the
+		// local component of a socket running k of n cores is (k/n)·C(k),
+		// and each remote socket adds r·ρ_s per core activated on it.
+		total := 0.0
+		for s := 0; s < m.Sockets; s++ {
+			if k := coresOnSocket(n, c, s); k > 0 {
+				total += float64(k) / float64(n) * m.Single.C(k)
+			}
+		}
+		for s := 1; s < m.Sockets; s++ {
+			if k := coresOnSocket(n, c, s); k > 0 {
+				total += m.RefMisses * m.rhoFor(s) * float64(k)
+			}
+		}
+		return total
+	}
+}
+
+// rhoFor returns the ρ of socket s (1-based remote sockets), falling back
+// to the last fitted value when a socket has no dedicated measurement.
+func (m Model) rhoFor(s int) float64 {
+	idx := s - 1
+	if idx < len(m.Rho) {
+		return m.Rho[idx]
+	}
+	if len(m.Rho) > 0 {
+		return m.Rho[len(m.Rho)-1]
+	}
+	return 0
+}
+
+// Omega predicts the degree of contention ω(n).
+func (m Model) Omega(n int) float64 {
+	return Omega(m.C(n), m.C1)
+}
+
+// Curve evaluates ω(n) for n = 1..maxCores.
+func (m Model) Curve(maxCores int) []float64 {
+	out := make([]float64, maxCores)
+	for n := 1; n <= maxCores; n++ {
+		out[n-1] = m.Omega(n)
+	}
+	return out
+}
+
+// Options tunes the fitting procedure.
+type Options struct {
+	// Homogeneous forces a single ρ for every remote socket — the paper's
+	// reduced-input variant that degrades AMD accuracy from ~5% to ~25%
+	// relative error.
+	Homogeneous bool
+}
+
+// splitMeasurements partitions measurements into single-socket inputs
+// (n <= c) and per-remote-socket inputs, sorted by core count.
+func splitMeasurements(meas []Measurement, c int, sockets int) (single []Measurement, remote [][]Measurement) {
+	remote = make([][]Measurement, sockets-1)
+	sorted := append([]Measurement(nil), meas...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Cores < sorted[j].Cores })
+	for _, m := range sorted {
+		if m.Cores <= c {
+			single = append(single, m)
+			continue
+		}
+		s := (m.Cores - 1) / c // socket index of the last activated core
+		if s >= 1 && s < sockets {
+			remote[s-1] = append(remote[s-1], m)
+		}
+	}
+	return single, remote
+}
+
+// refMisses averages the observed LLC misses (r(n) is treated as constant).
+func refMisses(meas []Measurement) float64 {
+	var sum float64
+	var n int
+	for _, m := range meas {
+		if m.LLCMisses > 0 {
+			sum += m.LLCMisses
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Fit builds the full model from measurement runs on a machine with the
+// given geometry. Measurements with n <= coresPerSocket feed the M/M/1
+// regression; measurements beyond feed ΔC (UMA) or the per-socket ρ terms
+// (NUMA). The paper's input plans (section V) are:
+//
+//	Intel UMA:  C(1), C(4), C(5)
+//	Intel NUMA: C(1), C(2), C(12), C(13)
+//	AMD NUMA:   C(1), C(12), C(13), C(25), C(37)
+func Fit(kind Kind, sockets, coresPerSocket int, meas []Measurement, opts Options) (Model, error) {
+	if sockets < 1 || coresPerSocket < 1 {
+		return Model{}, ErrBadGeometry
+	}
+	single, remote := splitMeasurements(meas, coresPerSocket, sockets)
+	sf, err := FitSingle(single)
+	if err != nil {
+		return Model{}, err
+	}
+	m := Model{
+		Kind:           kind,
+		Sockets:        sockets,
+		CoresPerSocket: coresPerSocket,
+		Single:         sf,
+		RefMisses:      refMisses(meas),
+		C1:             sf.C(1),
+	}
+	c := coresPerSocket
+	switch kind {
+	case UMA:
+		// Regress observed ΔC through the origin on (n-c), against the
+		// proportional-split base.
+		var xs, ys []float64
+		for _, socketMeas := range remote {
+			for _, mm := range socketMeas {
+				base := 0.0
+				for s := 0; s < sockets; s++ {
+					if k := coresOnSocket(mm.Cores, c, s); k > 0 {
+						base += float64(k) / float64(mm.Cores) * sf.C(k)
+					}
+				}
+				xs = append(xs, float64(mm.Cores-c))
+				ys = append(ys, mm.Cycles-base)
+			}
+		}
+		if len(xs) > 0 {
+			fit, ferr := stats.FitLinearThroughOrigin(xs, ys)
+			if ferr == nil {
+				m.DeltaCPerCore = fit.Slope
+			}
+		}
+	default: // NUMA
+		if m.RefMisses <= 0 {
+			return Model{}, errors.New("core: NUMA fit needs LLC miss counts")
+		}
+		// ρ is "derived from linear regression" and, on machines with
+		// several interconnect latency classes, is "an average weighted to
+		// the number of memory requests to each of the remote memories"
+		// (section IV): regress the remote residual
+		//   C(n) - proportional local base = r · ρ · (n - c)
+		// through the origin over the remote measurement points. The
+		// Homogeneous option reproduces the paper's reduced three-input
+		// variant — only the first remote activation point is used, which
+		// cannot observe the farther latency classes and degrades AMD
+		// accuracy (the paper reports ~5% -> ~25%).
+		var xs, ys []float64
+		for _, socketMeas := range remote {
+			for _, mm := range socketMeas {
+				base := 0.0
+				for ps := 0; ps < sockets; ps++ {
+					if k := coresOnSocket(mm.Cores, c, ps); k > 0 {
+						base += float64(k) / float64(mm.Cores) * sf.C(k)
+					}
+				}
+				xs = append(xs, m.RefMisses*float64(mm.Cores-c))
+				ys = append(ys, mm.Cycles-base)
+				if opts.Homogeneous {
+					break
+				}
+			}
+			if opts.Homogeneous && len(xs) > 0 {
+				break
+			}
+		}
+		if len(xs) > 0 {
+			fit, ferr := stats.FitLinearThroughOrigin(xs, ys)
+			if ferr == nil {
+				for s := 1; s < sockets; s++ {
+					m.Rho = append(m.Rho, fit.Slope)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Validation compares model predictions against a measured sweep.
+type Validation struct {
+	// Cores lists the evaluated core counts.
+	Cores []int
+	// Measured and Modeled are ω(n) at each core count.
+	Measured []float64
+	Modeled  []float64
+	// MeanRelErr and MaxRelErr compare modeled to measured C(n) (the
+	// paper's 5-14% metric).
+	MeanRelErr float64
+	MaxRelErr  float64
+}
+
+// Validate evaluates the model against a full measured sweep. The measured
+// C(1) normalizes the measured ω; the model's own C(1) normalizes its ω.
+func Validate(m Model, sweep []Measurement) (Validation, error) {
+	if len(sweep) == 0 {
+		return Validation{}, ErrTooFewMeasurements
+	}
+	sorted := append([]Measurement(nil), sweep...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Cores < sorted[j].Cores })
+	var c1 float64
+	for _, mm := range sorted {
+		if mm.Cores == 1 {
+			c1 = mm.Cycles
+			break
+		}
+	}
+	if c1 == 0 {
+		return Validation{}, ErrNoBaseline
+	}
+	v := Validation{}
+	var pred, obs []float64
+	for _, mm := range sorted {
+		v.Cores = append(v.Cores, mm.Cores)
+		v.Measured = append(v.Measured, Omega(mm.Cycles, c1))
+		v.Modeled = append(v.Modeled, m.Omega(mm.Cores))
+		p := m.C(mm.Cores)
+		if !math.IsInf(p, 0) {
+			pred = append(pred, p)
+			obs = append(obs, mm.Cycles)
+		}
+	}
+	var err error
+	v.MeanRelErr, err = stats.MeanRelativeError(pred, obs)
+	if err != nil {
+		return Validation{}, err
+	}
+	v.MaxRelErr, err = stats.MaxRelativeError(pred, obs)
+	if err != nil {
+		return Validation{}, err
+	}
+	return v, nil
+}
+
+// PaperInputs returns the measurement core counts the paper uses for each
+// machine geometry (section V): {1, c, c+1} for UMA; {1, 2, c, c+1} for
+// two-socket NUMA; {1, c, c+1, 2c+1, 3c+1} for four-socket NUMA.
+//
+// Deviation from the paper: for two-socket NUMA machines a fifth run at the
+// full machine (2c) is added, mirroring the five-run AMD plan. With a
+// single remote point the ρ regression cannot see past the
+// capacity-relief dip that the simulated testbed shows when the second
+// controller comes online; the extra point anchors the remote trend (the
+// paper's real machine showed a much smaller dip, so four runs sufficed
+// there).
+func PaperInputs(kind Kind, sockets, coresPerSocket int) []int {
+	c := coresPerSocket
+	switch {
+	case kind == UMA:
+		return []int{1, c, c + 1}
+	case sockets == 2:
+		return []int{1, 2, c, c + 1, 2 * c}
+	default:
+		inputs := []int{1, c}
+		for s := 1; s < sockets; s++ {
+			inputs = append(inputs, s*c+1)
+		}
+		return inputs
+	}
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// synthSingle generates exact M/M/1 measurements C(n) = r/(mu - n*L).
+func synthSingle(r, mu, l float64, cores []int) []Measurement {
+	var meas []Measurement
+	for _, n := range cores {
+		meas = append(meas, Measurement{
+			Cores:     n,
+			Cycles:    r / (mu - float64(n)*l),
+			LLCMisses: r,
+		})
+	}
+	return meas
+}
+
+func TestOmega(t *testing.T) {
+	if Omega(200, 100) != 1 {
+		t.Error("omega(2x) should be 1")
+	}
+	if Omega(100, 100) != 0 {
+		t.Error("omega(same) should be 0")
+	}
+	if Omega(50, 100) != -0.5 {
+		t.Error("cache speedup omega should be negative")
+	}
+	if !math.IsNaN(Omega(1, 0)) {
+		t.Error("zero baseline should give NaN")
+	}
+}
+
+func TestFitSingleExactRecovery(t *testing.T) {
+	r, mu, l := 1e6, 0.01, 0.0009
+	meas := synthSingle(r, mu, l, []int{1, 4})
+	f, err := FitSingle(meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.MuOverR, mu/r, 1e-12) {
+		t.Errorf("mu/r = %v, want %v", f.MuOverR, mu/r)
+	}
+	if !almostEqual(f.LOverR, l/r, 1e-12) {
+		t.Errorf("L/r = %v, want %v", f.LOverR, l/r)
+	}
+	if !almostEqual(f.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v", f.R2)
+	}
+	// Interpolation and extrapolation reproduce the generator.
+	for n := 1; n <= 10; n++ {
+		want := r / (mu - float64(n)*l)
+		if !almostEqual(f.C(n), want, want*1e-9) {
+			t.Errorf("C(%d) = %v, want %v", n, f.C(n), want)
+		}
+	}
+}
+
+func TestFitSingleSaturation(t *testing.T) {
+	f, err := FitSingle(synthSingle(1e6, 0.01, 0.0009, []int{1, 4, 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mu/L = 11.11: the model must diverge at n=12.
+	if !almostEqual(f.SaturationCores(), 11.111, 0.01) {
+		t.Errorf("saturation = %v", f.SaturationCores())
+	}
+	if !math.IsInf(f.C(12), 1) {
+		t.Errorf("C beyond saturation = %v, want +Inf", f.C(12))
+	}
+}
+
+func TestFitSingleErrors(t *testing.T) {
+	if _, err := FitSingle(nil); err != ErrTooFewMeasurements {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitSingle([]Measurement{{Cores: 1, Cycles: 0}, {Cores: 2, Cycles: 1}}); err == nil {
+		t.Error("zero cycles accepted")
+	}
+}
+
+func TestLinearityR2DetectsNonLinear(t *testing.T) {
+	// Perfect M/M/1 data: R2 = 1.
+	r2, err := LinearityR2(synthSingle(1e6, 0.01, 0.0005, []int{1, 2, 3, 4, 5, 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.9999 {
+		t.Errorf("M/M/1 linearity R2 = %v", r2)
+	}
+	// Flat C(n) (no contention, bursty EP-like): 1/C is constant; our R2
+	// convention yields 1 only for exact constants, so perturb slightly —
+	// the regression should fit poorly relative to the variance.
+	var meas []Measurement
+	for n := 1; n <= 8; n++ {
+		c := 1e9 * (1 + 0.01*math.Sin(float64(n)*2.1))
+		meas = append(meas, Measurement{Cores: n, Cycles: c, LLCMisses: 1e5})
+	}
+	r2b, err := LinearityR2(meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2b > 0.9 {
+		t.Errorf("oscillating data R2 = %v, want low", r2b)
+	}
+}
+
+func TestFitUMAExact(t *testing.T) {
+	// Ground truth: the proportional-split UMA composition with
+	// ΔC = 5e8 per extra core.
+	r, mu, l := 1e6, 0.02, 0.002
+	delta := 5e8
+	cTrue := func(n int) float64 {
+		c := 4
+		single := func(k int) float64 { return r / (mu - float64(k)*l) }
+		if n <= c {
+			return single(n)
+		}
+		k2 := n - c
+		return float64(c)/float64(n)*single(c) +
+			float64(k2)/float64(n)*single(k2) + delta*float64(k2)
+	}
+	var meas []Measurement
+	for _, n := range []int{1, 4, 5} { // the paper's UMA input plan
+		meas = append(meas, Measurement{Cores: n, Cycles: cTrue(n), LLCMisses: r})
+	}
+	m, err := Fit(UMA, 2, 4, meas, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.DeltaCPerCore, delta, delta*1e-9) {
+		t.Errorf("delta = %v, want %v", m.DeltaCPerCore, delta)
+	}
+	for n := 1; n <= 8; n++ {
+		want := cTrue(n)
+		if !almostEqual(m.C(n), want, want*1e-9) {
+			t.Errorf("C(%d) = %v, want %v", n, m.C(n), want)
+		}
+	}
+}
+
+func TestFitNUMAExactTwoSocket(t *testing.T) {
+	// Ground truth per equation (11) with c=12, rho=3e2.
+	r, mu, l := 1e6, 0.03, 0.002
+	rho := 3e2
+	single := func(k int) float64 { return r / (mu - float64(k)*l) }
+	cTrue := func(n int) float64 {
+		if n <= 12 {
+			return single(n)
+		}
+		k2 := n - 12
+		return 12.0/float64(n)*single(12) + float64(k2)/float64(n)*single(k2) +
+			r*rho*float64(k2)
+	}
+	var meas []Measurement
+	for _, n := range []int{1, 2, 12, 13} { // the paper's Intel NUMA plan
+		meas = append(meas, Measurement{Cores: n, Cycles: cTrue(n), LLCMisses: r})
+	}
+	m, err := Fit(NUMA, 2, 12, meas, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rho) != 1 || !almostEqual(m.Rho[0], rho, rho*1e-9) {
+		t.Errorf("rho = %v, want [%v]", m.Rho, rho)
+	}
+	for n := 1; n <= 24; n++ {
+		want := cTrue(n)
+		if !almostEqual(m.C(n), want, want*1e-9) {
+			t.Errorf("C(%d) = %v, want %v", n, m.C(n), want)
+		}
+	}
+}
+
+func TestFitNUMAFourSocketSharedRho(t *testing.T) {
+	// AMD-like geometry: c=12, four sockets, one true remote-stall rate.
+	// The regression over the paper's five-point plan must recover it and
+	// predict the whole 48-core sweep exactly.
+	r, mu, l := 1e6, 0.03, 0.002
+	rho := 4e2
+	single := func(k int) float64 { return r / (mu - float64(k)*l) }
+	cTrue := func(n int) float64 {
+		total := 0.0
+		for s := 0; s < 4; s++ {
+			if k := coresOnSocket(n, 12, s); k > 0 {
+				total += float64(k) / float64(n) * single(k)
+			}
+		}
+		if n > 12 {
+			total += r * rho * float64(n-12)
+		}
+		return total
+	}
+	var meas []Measurement
+	for _, n := range []int{1, 12, 13, 25, 37} { // the paper's AMD plan
+		meas = append(meas, Measurement{Cores: n, Cycles: cTrue(n), LLCMisses: r})
+	}
+	m, err := Fit(NUMA, 4, 12, meas, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rho) != 3 {
+		t.Fatalf("rho = %v", m.Rho)
+	}
+	for i := range m.Rho {
+		if !almostEqual(m.Rho[i], rho, rho*1e-9) {
+			t.Errorf("rho[%d] = %v, want %v", i, m.Rho[i], rho)
+		}
+	}
+	for n := 1; n <= 48; n++ {
+		want := cTrue(n)
+		if !almostEqual(m.C(n), want, want*1e-6) {
+			t.Errorf("C(%d) = %v, want %v", n, m.C(n), want)
+		}
+	}
+}
+
+func TestHomogeneousAblationDegradesHeterogeneousMachine(t *testing.T) {
+	// Heterogeneous ground truth: the remote-stall rate grows with each
+	// socket (farther interconnect hops). The full five-point regression
+	// averages over all latency classes; the paper's reduced three-input
+	// variant (Homogeneous) sees only the nearest class and must be worse.
+	r, mu, l := 1e6, 0.03, 0.002
+	rhos := []float64{2e2, 5e2, 9e2}
+	single := func(k int) float64 { return r / (mu - float64(k)*l) }
+	cTrue := func(n int) float64 {
+		total := 0.0
+		for s := 0; s < 4; s++ {
+			if k := coresOnSocket(n, 12, s); k > 0 {
+				total += float64(k) / float64(n) * single(k)
+			}
+		}
+		for s := 1; s < 4; s++ {
+			if k := coresOnSocket(n, 12, s); k > 0 {
+				total += r * rhos[s-1] * float64(k)
+			}
+		}
+		return total
+	}
+	var meas, sweep []Measurement
+	for _, n := range []int{1, 12, 13, 25, 37} {
+		meas = append(meas, Measurement{Cores: n, Cycles: cTrue(n), LLCMisses: r})
+	}
+	for n := 1; n <= 48; n++ {
+		sweep = append(sweep, Measurement{Cores: n, Cycles: cTrue(n), LLCMisses: r})
+	}
+	het, err := Fit(NUMA, 4, 12, meas, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hom, err := Fit(NUMA, 4, 12, meas, Options{Homogeneous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vHet, err := Validate(het, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vHom, err := Validate(hom, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both validations must at least produce finite errors.
+	if vHom.MeanRelErr <= 0 || vHet.MeanRelErr < 0 {
+		t.Fatalf("validation errors: hom %v het %v", vHom.MeanRelErr, vHet.MeanRelErr)
+	}
+	// The reduced fit sees only the nearest latency class, so its error
+	// compounds toward the far sockets: over the last socket (n >= 37,
+	// where all latency classes are active) it must be strictly worse.
+	var homFar, hetFar float64
+	for n := 37; n <= 48; n++ {
+		truth := cTrue(n)
+		homFar += math.Abs(hom.C(n)-truth) / truth
+		hetFar += math.Abs(het.C(n)-truth) / truth
+	}
+	if homFar <= hetFar {
+		t.Errorf("homogeneous far-socket error %v not worse than full fit %v",
+			homFar/12, hetFar/12)
+	}
+}
+
+func TestValidateBaselineRequired(t *testing.T) {
+	m := Model{Kind: NUMA, Sockets: 2, CoresPerSocket: 2, C1: 1}
+	if _, err := Validate(m, []Measurement{{Cores: 3, Cycles: 5}}); err != ErrNoBaseline {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Validate(m, nil); err != ErrTooFewMeasurements {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	f, _ := FitSingle(synthSingle(1e6, 0.02, 0.001, []int{1, 4}))
+	m := Model{Kind: NUMA, Sockets: 1, CoresPerSocket: 8, Single: f, C1: f.C(1), RefMisses: 1e6}
+	curve := m.Curve(8)
+	if len(curve) != 8 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if curve[0] != 0 {
+		t.Errorf("omega(1) = %v, want 0", curve[0])
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Errorf("omega not monotone under pure M/M/1: %v", curve)
+			break
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(NUMA, 0, 4, nil, Options{}); err != ErrBadGeometry {
+		t.Errorf("err = %v", err)
+	}
+	// NUMA needs miss counts.
+	meas := []Measurement{{Cores: 1, Cycles: 10}, {Cores: 2, Cycles: 12}, {Cores: 3, Cycles: 15}}
+	if _, err := Fit(NUMA, 2, 2, meas, Options{}); err == nil {
+		t.Error("NUMA fit without misses accepted")
+	}
+}
+
+func TestCoresOnSocket(t *testing.T) {
+	cases := []struct{ n, c, s, want int }{
+		{5, 4, 0, 4}, {5, 4, 1, 1}, {4, 4, 1, 0},
+		{13, 12, 0, 12}, {13, 12, 1, 1}, {25, 12, 2, 1}, {48, 12, 3, 12},
+	}
+	for _, tc := range cases {
+		if got := coresOnSocket(tc.n, tc.c, tc.s); got != tc.want {
+			t.Errorf("coresOnSocket(%d,%d,%d) = %d, want %d", tc.n, tc.c, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestPaperInputs(t *testing.T) {
+	if got := PaperInputs(UMA, 2, 4); !equalInts(got, []int{1, 4, 5}) {
+		t.Errorf("UMA inputs = %v", got)
+	}
+	if got := PaperInputs(NUMA, 2, 12); !equalInts(got, []int{1, 2, 12, 13, 24}) {
+		t.Errorf("Intel NUMA inputs = %v", got)
+	}
+	if got := PaperInputs(NUMA, 4, 12); !equalInts(got, []int{1, 12, 13, 25, 37}) {
+		t.Errorf("AMD inputs = %v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if UMA.String() != "UMA" || NUMA.String() != "NUMA" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

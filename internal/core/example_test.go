@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleFit shows the paper's workflow: measure C(n) at the input-plan
+// core counts, fit the model, and predict contention everywhere else.
+func ExampleFit() {
+	// Measurements on a two-socket, 12-cores-per-socket NUMA machine at
+	// the paper's Intel NUMA input plan {1, 2, 12, 13}.
+	meas := []core.Measurement{
+		{Cores: 1, Cycles: 1.0e9, LLCMisses: 2e6},
+		{Cores: 2, Cycles: 1.05e9, LLCMisses: 2e6},
+		{Cores: 12, Cycles: 2.0e9, LLCMisses: 2e6},
+		{Cores: 13, Cycles: 2.1e9, LLCMisses: 2e6},
+	}
+	model, err := core.Fit(core.NUMA, 2, 12, meas, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("omega(12) = %.2f\n", model.Omega(12))
+	fmt.Printf("omega(24) = %.2f\n", model.Omega(24))
+	// Output:
+	// omega(12) = 1.00
+	// omega(24) = 3.11
+}
+
+// ExampleOmega computes the degree of memory contention from two runs.
+func ExampleOmega() {
+	c1 := 1.0e9  // total cycles on one core
+	c24 := 4.3e9 // total cycles on 24 cores
+	fmt.Printf("omega = %.1f\n", core.Omega(c24, c1))
+	// Output:
+	// omega = 3.3
+}
+
+// ExampleModel_OptimalCores finds the speedup-maximizing core count.
+func ExampleModel_OptimalCores() {
+	meas := []core.Measurement{
+		{Cores: 1, Cycles: 1.0e9, LLCMisses: 2e6},
+		{Cores: 8, Cycles: 4.0e9, LLCMisses: 2e6},
+	}
+	model, err := core.Fit(core.NUMA, 1, 16, meas, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	cores, speedup := model.OptimalCores(16)
+	fmt.Printf("best: %d cores (S = %.1f)\n", cores, speedup)
+	// Output:
+	// best: 5 cores (S = 2.9)
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func memBoundProfile() Profile {
+	return Profile{
+		WorkCycles:  5e6,
+		Misses:      5e5,
+		DepFraction: 0.0, // streaming, full MLP
+	}
+}
+
+func TestNewWhiteBoxValidation(t *testing.T) {
+	spec := machine.IntelNUMA24()
+	if _, err := NewWhiteBox(spec, Profile{Misses: 0}); err != ErrBadProfile {
+		t.Errorf("zero misses: err = %v", err)
+	}
+	if _, err := NewWhiteBox(spec, Profile{Misses: 1, DepFraction: 2}); err != ErrBadProfile {
+		t.Errorf("bad dep fraction: err = %v", err)
+	}
+	bad := spec
+	bad.MSHRs = 0
+	if _, err := NewWhiteBox(bad, memBoundProfile()); err == nil {
+		t.Error("invalid machine accepted")
+	}
+	if _, err := NewWhiteBox(spec, memBoundProfile()); err != nil {
+		t.Errorf("valid inputs rejected: %v", err)
+	}
+}
+
+func TestWhiteBoxMonotoneContention(t *testing.T) {
+	w, err := NewWhiteBox(machine.IntelNUMA24(), memBoundProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contention within one socket grows monotonically with cores.
+	prev := 0.0
+	for n := 1; n <= 12; n++ {
+		om := w.Omega(n)
+		if om < prev-1e-9 {
+			t.Errorf("omega(%d) = %v decreased from %v within a socket", n, om, prev)
+		}
+		prev = om
+	}
+	// Activating the second socket's controller relieves pressure: the
+	// per-core growth rate right after the boundary is smaller than right
+	// before it.
+	before := w.Omega(12) - w.Omega(11)
+	after := w.Omega(14) - w.Omega(13)
+	if after > before {
+		t.Errorf("growth after new MC (%v) should not exceed growth before (%v)", after, before)
+	}
+}
+
+func TestWhiteBoxDependentLoadsReduceContentionGrowth(t *testing.T) {
+	// Dependent (serialized) misses self-throttle: contention at full
+	// machine must be lower than for the streaming profile — the SP vs IS
+	// distinction.
+	stream := memBoundProfile()
+	dep := memBoundProfile()
+	dep.DepFraction = 1.0
+	ws, err := NewWhiteBox(machine.IntelNUMA24(), stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := NewWhiteBox(machine.IntelNUMA24(), dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Omega(24) <= wd.Omega(24) {
+		t.Errorf("streaming omega %v should exceed dependent omega %v",
+			ws.Omega(24), wd.Omega(24))
+	}
+	// But the dependent baseline C(1) is slower.
+	if wd.C(1) <= ws.C(1) {
+		t.Errorf("dependent C(1) %v should exceed streaming C(1) %v", wd.C(1), ws.C(1))
+	}
+}
+
+func TestWhiteBoxMoreChannelsLessContention(t *testing.T) {
+	// The paper's conclusion: additional memory bandwidth reduces
+	// contention. Double the channels, same workload.
+	narrow := machine.IntelNUMA24()
+	wide := machine.IntelNUMA24()
+	wide.MC.Channels = 6
+	wn, err := NewWhiteBox(narrow, memBoundProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ww, err := NewWhiteBox(wide, memBoundProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ww.Omega(24) >= wn.Omega(24) {
+		t.Errorf("wide machine omega %v should be below narrow %v",
+			ww.Omega(24), wn.Omega(24))
+	}
+}
+
+func TestWhiteBoxComputeBoundStaysFlat(t *testing.T) {
+	// EP-like profile: heavy work, few misses -> omega ~ 0 at any n.
+	p := Profile{WorkCycles: 1e9, Misses: 1e3, DepFraction: 0}
+	w, err := NewWhiteBox(machine.AMDNUMA48(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if om := w.Omega(48); om > 0.05 {
+		t.Errorf("compute-bound omega(48) = %v, want ~0", om)
+	}
+}
+
+func TestWhiteBoxQualitativeAgreementWithFittedModel(t *testing.T) {
+	// Both models should agree that the memory-bound profile saturates a
+	// single socket: omega(12) well above 0.5 on the Intel NUMA machine.
+	w, err := NewWhiteBox(machine.IntelNUMA24(), memBoundProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if om := w.Omega(12); om < 0.5 {
+		t.Errorf("white-box omega(12) = %v, want substantial contention", om)
+	}
+	curve := w.Curve(24)
+	if len(curve) != 24 || curve[0] != 0 {
+		t.Errorf("curve = %v", curve[:3])
+	}
+}
+
+func TestProfileFromCounters(t *testing.T) {
+	p := ProfileFromCounters(1000, 50, 0.25)
+	if p.WorkCycles != 1000 || p.Misses != 50 || p.DepFraction != 0.25 {
+		t.Errorf("profile = %+v", p)
+	}
+}
+
+func TestWhiteBoxUMABusSurcharge(t *testing.T) {
+	// The UMA machine's per-socket bus adds to the base latency.
+	w, err := NewWhiteBox(machine.IntelUMA8(), memBoundProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noBus := machine.IntelUMA8()
+	noBus.Bus = nil
+	w2, err := NewWhiteBox(noBus, memBoundProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.C(1) <= w2.C(1) {
+		t.Error("bus occupancy should add to the uncontended latency")
+	}
+}

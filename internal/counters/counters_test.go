@@ -1,0 +1,69 @@
+package counters
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFromResult(t *testing.T) {
+	r := sim.Result{
+		TotalCycles:     1000,
+		WorkCycles:      600,
+		StallCycles:     400,
+		MemStallCycles:  300,
+		Instructions:    900,
+		LLCMisses:       42,
+		RemoteRequests:  7,
+		OffChipRequests: 42,
+	}
+	s := FromResult(r)
+	if s.Read(TotCyc) != 1000 || s.Read(ResStl) != 400 || s.Read(LLCMisses) != 42 {
+		t.Errorf("set = %v", s)
+	}
+	// The paper's derivation: work = total - stall.
+	if s.Read(WorkCyc) != s.Read(TotCyc)-s.Read(ResStl) {
+		t.Error("work-cycle identity violated")
+	}
+	if s.Read(RemoteReq) != 7 || s.Read(MemStl) != 300 || s.Read(TotIns) != 900 {
+		t.Errorf("set = %v", s)
+	}
+}
+
+func TestReadAbsent(t *testing.T) {
+	s := Set{}
+	if s.Read(TotCyc) != 0 {
+		t.Error("absent event should read 0")
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	s := FromResult(sim.Result{})
+	evs := s.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i] < evs[i-1] {
+			t.Fatalf("events unsorted: %v", evs)
+		}
+	}
+	if len(evs) != 7 {
+		t.Errorf("events = %v", evs)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := Set{TotCyc: 5}
+	out := s.String()
+	if !strings.Contains(out, "PAPI_TOT_CYC") || !strings.Contains(out, "5") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	after := Set{TotCyc: 100, LLCMisses: 10}
+	before := Set{TotCyc: 60, LLCMisses: 4}
+	d := after.Diff(before)
+	if d.Read(TotCyc) != 40 || d.Read(LLCMisses) != 6 {
+		t.Errorf("diff = %v", d)
+	}
+}

@@ -1,0 +1,35 @@
+package eventq
+
+import "testing"
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	var q Queue
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.At(uint64(i), fn)
+		if q.Len() > 1024 {
+			for q.Len() > 0 {
+				q.Step()
+			}
+		}
+	}
+}
+
+func BenchmarkNestedChain(b *testing.B) {
+	// Each event schedules the next: the simulator's common pattern.
+	var q Queue
+	n := 0
+	var next func()
+	next = func() {
+		if n < b.N {
+			n++
+			q.After(3, next)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	q.After(1, next)
+	q.Run()
+}

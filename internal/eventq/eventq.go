@@ -1,0 +1,98 @@
+// Package eventq provides the discrete-event simulation kernel shared by
+// the memory-controller model and the multicore simulator: a time-ordered
+// queue of callbacks with a monotonic simulated clock measured in cycles.
+//
+// Events scheduled for the same time run in FIFO order of scheduling, which
+// keeps whole-system simulations deterministic.
+package eventq
+
+import "container/heap"
+
+// Queue is a discrete-event queue. The zero value is ready to use.
+type Queue struct {
+	now   uint64
+	seq   uint64
+	items eventHeap
+}
+
+type event struct {
+	t   uint64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return it
+}
+
+// Now returns the current simulated time in cycles.
+func (q *Queue) Now() uint64 { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.items) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) is clamped to Now, which keeps zero-latency interactions safe.
+func (q *Queue) At(t uint64, fn func()) {
+	if t < q.now {
+		t = q.now
+	}
+	q.seq++
+	heap.Push(&q.items, event{t: t, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (q *Queue) After(d uint64, fn func()) {
+	q.At(q.now+d, fn)
+}
+
+// Step pops and runs the earliest event, advancing the clock to its time.
+// It reports whether an event was run.
+func (q *Queue) Step() bool {
+	if len(q.items) == 0 {
+		return false
+	}
+	ev := heap.Pop(&q.items).(event)
+	q.now = ev.t
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+// Events scheduled during execution are honored if they fall within t.
+func (q *Queue) RunUntil(t uint64) {
+	for len(q.items) > 0 && q.items[0].t <= t {
+		q.Step()
+	}
+	if q.now < t {
+		q.now = t
+	}
+}
+
+// RunWhile executes events while cond() returns true and events remain.
+func (q *Queue) RunWhile(cond func() bool) {
+	for cond() && q.Step() {
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// Persistent run cache: full-fidelity sweeps cost minutes, and different
+// figures share runs (the CG.C sweep feeds Fig. 3, Fig. 5 and Table IV).
+// SaveCache/LoadCache let cmd/experiments carry the cache across
+// invocations so iterating on one artifact never re-simulates another's
+// runs.
+
+// cacheEntry is the serialized form of one run.
+type cacheEntry struct {
+	Key    runKey     `json:"key"`
+	Result sim.Result `json:"result"`
+}
+
+// cacheFile is the on-disk format, versioned so stale caches from older
+// workload generators are discarded rather than misused.
+type cacheFile struct {
+	Version int          `json:"version"`
+	Entries []cacheEntry `json:"entries"`
+}
+
+// cacheVersion must change whenever workloads, machines or the simulator
+// change in a way that alters results.
+const cacheVersion = 3
+
+// SaveCache writes the runner's cached results to path.
+func (r *Runner) SaveCache(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := cacheFile{Version: cacheVersion}
+	for k, v := range r.cache {
+		f.Entries = append(f.Entries, cacheEntry{Key: k, Result: v})
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadCache merges previously saved results into the runner. A missing
+// file is not an error; a version mismatch discards the file's contents.
+// It returns the number of entries loaded.
+func (r *Runner) LoadCache(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var f cacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("experiments: corrupt cache %s: %w", path, err)
+	}
+	if f.Version != cacheVersion {
+		return 0, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range f.Entries {
+		r.cache[e.Key] = e.Result
+	}
+	return len(f.Entries), nil
+}
+
+// CacheLen returns the number of cached runs.
+func (r *Runner) CacheLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}

@@ -1,0 +1,159 @@
+// Package experiments regenerates the paper's evaluation artifacts — Table
+// II, Fig. 3, Table III, Fig. 4, Fig. 5, Fig. 6 and Table IV — by running
+// the workloads (internal/workload) on the simulated machines
+// (internal/machine + internal/sim), fitting the analytical model
+// (internal/core) from the paper's measurement plans, and rendering the
+// same rows and series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Runner executes and caches simulation runs. Sweeps for different
+// experiments share runs (e.g. the CG.C sweep feeds Fig. 3, Fig. 5 and
+// Table IV), so the cache cuts total runtime substantially.
+type Runner struct {
+	// Tuning scales workload iteration counts (1.0 for full fidelity).
+	Tuning workload.Tuning
+	// Progress, when non-nil, receives one line per executed run.
+	Progress io.Writer
+
+	mu    sync.Mutex
+	cache map[runKey]sim.Result
+}
+
+type runKey struct {
+	Machine string         `json:"machine"`
+	Program string         `json:"program"`
+	Class   workload.Class `json:"class"`
+	Cores   int            `json:"cores"`
+	Scale   float64        `json:"scale"`
+}
+
+// NewRunner returns a Runner with the given workload tuning.
+func NewRunner(tune workload.Tuning) *Runner {
+	return &Runner{Tuning: tune, cache: make(map[runKey]sim.Result)}
+}
+
+// Run simulates program.class on the machine with the given number of
+// active cores (threads fixed at the machine's total cores, per the
+// paper's protocol), caching results.
+func (r *Runner) Run(spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
+	key := runKey{Machine: spec.Name, Program: program, Class: class, Cores: cores, Scale: r.Tuning.RefScale}
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	wl, err := workload.NewTuned(program, class, r.Tuning)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	threads := spec.TotalCores()
+	res, err := sim.Run(sim.Config{Spec: spec, Threads: threads, Cores: cores}, wl.Streams(threads))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "run %s %s.%s n=%d: C=%d misses=%d\n",
+			spec.Name, program, class, cores, res.TotalCycles, res.LLCMisses)
+	}
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// Measure converts a run into a model measurement.
+func (r *Runner) Measure(spec machine.Spec, program string, class workload.Class, cores int) (core.Measurement, error) {
+	res, err := r.Run(spec, program, class, cores)
+	if err != nil {
+		return core.Measurement{}, err
+	}
+	return core.Measurement{
+		Cores:     cores,
+		Cycles:    float64(res.TotalCycles),
+		LLCMisses: float64(res.LLCMisses),
+	}, nil
+}
+
+// Sweep measures program.class at each core count.
+func (r *Runner) Sweep(spec machine.Spec, program string, class workload.Class, coreCounts []int) ([]core.Measurement, error) {
+	var meas []core.Measurement
+	for _, n := range coreCounts {
+		m, err := r.Measure(spec, program, class, n)
+		if err != nil {
+			return nil, err
+		}
+		meas = append(meas, m)
+	}
+	return meas, nil
+}
+
+// FullSweepCounts returns 1..totalCores.
+func FullSweepCounts(spec machine.Spec) []int {
+	counts := make([]int, spec.TotalCores())
+	for i := range counts {
+		counts[i] = i + 1
+	}
+	return counts
+}
+
+// CoarseSweepCounts returns a cheaper sweep: every step-th core count plus
+// the per-socket boundary points the figures hinge on (1, c, c+1, ...,
+// total).
+func CoarseSweepCounts(spec machine.Spec, step int) []int {
+	if step < 1 {
+		step = 1
+	}
+	want := map[int]bool{1: true, spec.TotalCores(): true}
+	for n := step; n <= spec.TotalCores(); n += step {
+		want[n] = true
+	}
+	c := spec.CoresPerSocket
+	for s := 1; s < spec.Sockets; s++ {
+		want[s*c] = true
+		want[s*c+1] = true
+	}
+	var counts []int
+	for n := 1; n <= spec.TotalCores(); n++ {
+		if want[n] {
+			counts = append(counts, n)
+		}
+	}
+	return counts
+}
+
+// ModelKindFor maps a machine spec to the model variant.
+func ModelKindFor(spec machine.Spec) core.Kind {
+	if spec.UMA() {
+		return core.UMA
+	}
+	return core.NUMA
+}
+
+// FitFromPlan fits the analytical model using the paper's measurement plan
+// for the machine.
+func (r *Runner) FitFromPlan(spec machine.Spec, program string, class workload.Class, opts core.Options) (core.Model, []int, error) {
+	kind := ModelKindFor(spec)
+	plan := core.PaperInputs(kind, spec.Sockets, spec.CoresPerSocket)
+	meas, err := r.Sweep(spec, program, class, plan)
+	if err != nil {
+		return core.Model{}, nil, err
+	}
+	model, err := core.Fit(kind, spec.Sockets, spec.CoresPerSocket, meas, opts)
+	if err != nil {
+		return core.Model{}, nil, err
+	}
+	return model, plan, nil
+}

@@ -1,0 +1,165 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/memctrl"
+)
+
+// CacheScale is the uniform factor by which preset cache capacities are
+// reduced relative to the physical parts, so whole-program simulations stay
+// fast. Workload problem classes are scaled by the same factor (see
+// internal/workload), preserving footprint:cache ratios.
+const CacheScale = 16
+
+// IntelUMA8 returns the paper's 8-core UMA machine: dual quad-core Intel
+// Xeon E5320 (Clovertown, 1.86 GHz), one shared memory controller with
+// dual-channel DDR2, per-socket front-side buses, and a socket-shared L2 as
+// the last cache level. Physical 32 KB L1 / 4 MB per-socket L2 scale to
+// 2 KB / 256 KB.
+func IntelUMA8() Spec {
+	return Spec{
+		Name:           "IntelUMA8",
+		Sockets:        2,
+		CoresPerSocket: 4,
+		ClockGHz:       1.86,
+		Levels: []CacheLevel{
+			{Config: cache.Config{Name: "L1", Size: 2 << 10, Line: 64, Ways: 8, Latency: 3}, Scope: PerCore},
+			{Config: cache.Config{Name: "L2", Size: 256 << 10, Line: 64, Ways: 16, Latency: 14}, Scope: PerSocket},
+		},
+		MCsPerSocket: 0, // UMA: single shared controller
+		MC: memctrl.Config{
+			Channels:    2,
+			Banks:       8,
+			RowBytes:    2048,
+			LineBytes:   64,
+			HitLatency:  35,
+			MissLatency: 110,
+			Discipline:  memctrl.FCFS,
+		},
+		Bus:   &BusConfig{Occupancy: 12},
+		MSHRs: 6,
+	}
+}
+
+// IntelNUMA24 returns the paper's 24-core NUMA machine: dual six-core Intel
+// Xeon X5650 (Westmere, 2.66 GHz) with two hardware threads per core
+// counted as independent cores, one triple-channel DDR3 memory controller
+// per socket, and two directly-linked NUMA nodes. Physical 12 MB L3 scales
+// to 768 KB per socket.
+func IntelNUMA24() Spec {
+	return Spec{
+		Name:           "IntelNUMA24",
+		Sockets:        2,
+		CoresPerSocket: 12,
+		ClockGHz:       2.66,
+		Levels: []CacheLevel{
+			{Config: cache.Config{Name: "L1", Size: 2 << 10, Line: 64, Ways: 8, Latency: 4}, Scope: PerCore},
+			{Config: cache.Config{Name: "L2", Size: 16 << 10, Line: 64, Ways: 8, Latency: 10}, Scope: PerCore},
+			{Config: cache.Config{Name: "L3", Size: 768 << 10, Line: 64, Ways: 12, Latency: 38}, Scope: PerSocket},
+		},
+		MCsPerSocket: 1,
+		MC: memctrl.Config{
+			Channels:    3,
+			Banks:       8,
+			RowBytes:    2048,
+			LineBytes:   64,
+			HitLatency:  26,
+			MissLatency: 80,
+			Discipline:  memctrl.FRFCFS,
+		},
+		HopLatency:    60,
+		LinkOccupancy: 40,
+		Links:         [][2]int{{0, 1}},
+		MSHRs:         10,
+	}
+}
+
+// AMDNUMA48 returns the paper's 48-core NUMA machine: quad twelve-core AMD
+// Opteron 6172 (Magny-Cours, 2.1 GHz) with two memory controllers per
+// package — eight NUMA nodes in a partial mesh with direct, one-hop and
+// two-hop latency classes (modeled as the circulant graph C8(1,2)).
+// Physical 10 MB per-socket L3 scales to 640 KB.
+func AMDNUMA48() Spec {
+	links := circulantLinks(8, 1, 2)
+	return Spec{
+		Name:           "AMDNUMA48",
+		Sockets:        4,
+		CoresPerSocket: 12,
+		ClockGHz:       2.1,
+		Levels: []CacheLevel{
+			{Config: cache.Config{Name: "L1", Size: 4 << 10, Line: 64, Ways: 2, Latency: 3}, Scope: PerCore},
+			{Config: cache.Config{Name: "L2", Size: 32 << 10, Line: 64, Ways: 16, Latency: 12}, Scope: PerCore},
+			{Config: cache.Config{Name: "L3", Size: 640 << 10, Line: 64, Ways: 10, Latency: 40}, Scope: PerSocket},
+		},
+		MCsPerSocket: 2,
+		MC: memctrl.Config{
+			Channels:    2,
+			Banks:       8,
+			RowBytes:    2048,
+			LineBytes:   64,
+			HitLatency:  28,
+			MissLatency: 85,
+			Discipline:  memctrl.FRFCFS,
+		},
+		HopLatency:    50,
+		LinkOccupancy: 16,
+		Links:         links,
+		MSHRs:         8,
+	}
+}
+
+// circulantLinks returns the undirected edge list of the circulant graph
+// C_n(offsets...).
+func circulantLinks(n int, offsets ...int) [][2]int {
+	seen := map[[2]int]bool{}
+	var links [][2]int
+	for i := 0; i < n; i++ {
+		for _, o := range offsets {
+			a, b := i, (i+o)%n
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int{a, b}
+			if !seen[key] {
+				seen[key] = true
+				links = append(links, key)
+			}
+		}
+	}
+	return links
+}
+
+// presets maps machine names to constructors.
+var presets = map[string]func() Spec{
+	"IntelUMA8":   IntelUMA8,
+	"IntelNUMA24": IntelNUMA24,
+	"AMDNUMA48":   AMDNUMA48,
+}
+
+// ByName returns the preset spec with the given name.
+func ByName(name string) (Spec, error) {
+	ctor, ok := presets[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("machine: unknown preset %q (have %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// Names lists available preset names in sorted order.
+func Names() []string {
+	var names []string
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the three paper machines in the order the paper presents
+// them (UMA 8, Intel NUMA 24, AMD NUMA 48).
+func All() []Spec {
+	return []Spec{IntelUMA8(), IntelNUMA24(), AMDNUMA48()}
+}

@@ -1,0 +1,291 @@
+// Package memctrl simulates off-chip memory controllers: the shared
+// resource whose queueing produces the memory contention studied in the
+// paper. A controller owns one or more DRAM channels, each with a set of
+// banks and a row-buffer; requests are address-interleaved across channels
+// and serviced FCFS or FR-FCFS (row hits first), with distinct service
+// times for row-buffer hits and misses.
+//
+// The controller is driven by the discrete-event clock from
+// internal/eventq: Submit enqueues a request at the current time and the
+// completion callback fires when service finishes. Queueing delay — the
+// quantity that grows with the number of active cores and saturates the
+// M/M/1 model — emerges from channel occupancy rather than being assumed.
+package memctrl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Clock is the subset of the event queue the controller needs. It is
+// satisfied by *eventq.Queue.
+type Clock interface {
+	Now() uint64
+	After(d uint64, fn func())
+}
+
+// Discipline selects the scheduling policy of each channel.
+type Discipline uint8
+
+const (
+	// FCFS services requests strictly in arrival order.
+	FCFS Discipline = iota
+	// FRFCFS (first-ready, first-come-first-served) prefers requests that
+	// hit the currently open row, falling back to the oldest request.
+	FRFCFS
+)
+
+// String implements fmt.Stringer.
+func (d Discipline) String() string {
+	switch d {
+	case FCFS:
+		return "fcfs"
+	case FRFCFS:
+		return "fr-fcfs"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes a memory controller.
+type Config struct {
+	// Name identifies the controller in stats output ("MC0").
+	Name string
+	// Channels is the number of parallel DRAM channels (dual-channel = 2).
+	Channels int
+	// Banks is the number of DRAM banks per channel.
+	Banks int
+	// RowBytes is the DRAM row (page) size used for row-buffer hit
+	// detection.
+	RowBytes uint64
+	// LineBytes is the request granularity used for channel interleaving.
+	LineBytes uint64
+	// HitLatency is the service time (cycles) of a row-buffer hit.
+	HitLatency uint64
+	// MissLatency is the service time (cycles) of a row-buffer miss
+	// (precharge + activate + CAS).
+	MissLatency uint64
+	// Discipline selects FCFS or FRFCFS.
+	Discipline Discipline
+	// MaxQueue bounds the number of queued (not yet in service) requests
+	// per channel; 0 means unbounded. Submissions beyond the bound are
+	// rejected so callers can model back-pressure.
+	MaxQueue int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Channels < 1 {
+		return fmt.Errorf("memctrl %s: channels %d < 1", c.Name, c.Channels)
+	}
+	if c.Banks < 1 {
+		return fmt.Errorf("memctrl %s: banks %d < 1", c.Name, c.Banks)
+	}
+	if c.RowBytes == 0 || c.LineBytes == 0 {
+		return fmt.Errorf("memctrl %s: row/line bytes must be positive", c.Name)
+	}
+	if c.HitLatency == 0 || c.MissLatency == 0 {
+		return fmt.Errorf("memctrl %s: service latencies must be positive", c.Name)
+	}
+	if c.MissLatency < c.HitLatency {
+		return fmt.Errorf("memctrl %s: miss latency %d < hit latency %d", c.Name, c.MissLatency, c.HitLatency)
+	}
+	return nil
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	// Requests is the number of completed requests.
+	Requests uint64
+	// RowHits counts completed requests serviced from an open row.
+	RowHits uint64
+	// TotalWait is the sum of queueing delays (arrival to service start).
+	TotalWait uint64
+	// TotalService is the sum of service times.
+	TotalService uint64
+	// BusyCycles accumulates channel busy time (summed over channels).
+	BusyCycles uint64
+	// MaxQueueLen is the high-water mark of any single channel queue.
+	MaxQueueLen int
+	// Rejected counts submissions refused due to MaxQueue.
+	Rejected uint64
+}
+
+// AvgWait returns the mean queueing delay per completed request.
+func (s Stats) AvgWait() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.TotalWait) / float64(s.Requests)
+}
+
+// AvgService returns the mean service time per completed request.
+func (s Stats) AvgService() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.TotalService) / float64(s.Requests)
+}
+
+// AvgResponse returns the mean total response time (wait + service).
+func (s Stats) AvgResponse() float64 { return s.AvgWait() + s.AvgService() }
+
+// RowHitRatio returns the fraction of requests that hit an open row.
+func (s Stats) RowHitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Requests)
+}
+
+// Utilization returns channel utilization over elapsed cycles.
+func (s Stats) Utilization(elapsed uint64, channels int) float64 {
+	if elapsed == 0 || channels == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / (float64(elapsed) * float64(channels))
+}
+
+// ErrQueueFull is returned by Submit when the channel queue is bounded and
+// full.
+var ErrQueueFull = errors.New("memctrl: channel queue full")
+
+type request struct {
+	addr    uint64
+	arrival uint64
+	done    func(rowHit bool)
+}
+
+type channel struct {
+	busy  bool
+	queue []request
+	rows  []int64 // open row per bank; -1 = closed
+}
+
+// Controller is one memory controller instance.
+type Controller struct {
+	cfg   Config
+	clock Clock
+	chans []channel
+	stats Stats
+}
+
+// New builds a controller bound to the given clock.
+func New(cfg Config, clock Clock) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		return nil, errors.New("memctrl: nil clock")
+	}
+	c := &Controller{cfg: cfg, clock: clock, chans: make([]channel, cfg.Channels)}
+	for i := range c.chans {
+		rows := make([]int64, cfg.Banks)
+		for b := range rows {
+			rows[b] = -1
+		}
+		c.chans[i].rows = rows
+	}
+	return c, nil
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without disturbing in-flight requests.
+func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// QueueLen returns the current number of queued (not in-service) requests
+// across all channels.
+func (c *Controller) QueueLen() int {
+	n := 0
+	for i := range c.chans {
+		n += len(c.chans[i].queue)
+	}
+	return n
+}
+
+// route returns the channel index for addr.
+func (c *Controller) route(addr uint64) int {
+	return int((addr / c.cfg.LineBytes) % uint64(c.cfg.Channels))
+}
+
+// rowOf returns the DRAM row number of addr.
+func (c *Controller) rowOf(addr uint64) int64 {
+	return int64(addr / c.cfg.RowBytes)
+}
+
+// bankOf returns the bank index of addr within its channel.
+func (c *Controller) bankOf(addr uint64) int {
+	return int(uint64(c.rowOf(addr)) % uint64(c.cfg.Banks))
+}
+
+// Submit enqueues a request for addr at the current simulated time. done is
+// invoked exactly once, at the simulated completion time, with whether the
+// request was serviced from an open row. Submit returns ErrQueueFull when a
+// bounded queue is full.
+func (c *Controller) Submit(addr uint64, done func(rowHit bool)) error {
+	chIdx := c.route(addr)
+	ch := &c.chans[chIdx]
+	if c.cfg.MaxQueue > 0 && len(ch.queue) >= c.cfg.MaxQueue {
+		c.stats.Rejected++
+		return ErrQueueFull
+	}
+	ch.queue = append(ch.queue, request{addr: addr, arrival: c.clock.Now(), done: done})
+	if len(ch.queue) > c.stats.MaxQueueLen {
+		c.stats.MaxQueueLen = len(ch.queue)
+	}
+	if !ch.busy {
+		c.startNext(chIdx)
+	}
+	return nil
+}
+
+// startNext picks the next request on channel chIdx per the discipline and
+// schedules its completion. It is a no-op while the channel is already
+// serving a request (a completion callback may submit new work, which must
+// queue rather than overlap).
+func (c *Controller) startNext(chIdx int) {
+	ch := &c.chans[chIdx]
+	if ch.busy || len(ch.queue) == 0 {
+		return
+	}
+	pick := 0
+	if c.cfg.Discipline == FRFCFS {
+		for i, r := range ch.queue {
+			if ch.rows[c.bankOf(r.addr)] == c.rowOf(r.addr) {
+				pick = i
+				break
+			}
+		}
+	}
+	req := ch.queue[pick]
+	ch.queue = append(ch.queue[:pick], ch.queue[pick+1:]...)
+
+	bank := c.bankOf(req.addr)
+	row := c.rowOf(req.addr)
+	rowHit := ch.rows[bank] == row
+	ch.rows[bank] = row
+
+	service := c.cfg.MissLatency
+	if rowHit {
+		service = c.cfg.HitLatency
+	}
+	now := c.clock.Now()
+	c.stats.TotalWait += now - req.arrival
+	c.stats.TotalService += service
+	c.stats.BusyCycles += service
+	if rowHit {
+		c.stats.RowHits++
+	}
+	ch.busy = true
+	c.clock.After(service, func() {
+		c.stats.Requests++
+		ch.busy = false
+		req.done(rowHit)
+		c.startNext(chIdx)
+	})
+}

@@ -1,0 +1,309 @@
+package mmq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMM1ResponseTime(t *testing.T) {
+	q := MM1{Lambda: 0.5, Mu: 1}
+	w, err := q.ResponseTime()
+	if err != nil {
+		t.Fatalf("ResponseTime: %v", err)
+	}
+	if !almostEqual(w, 2, 1e-12) {
+		t.Errorf("W = %v, want 2", w)
+	}
+	wq, err := q.WaitTime()
+	if err != nil {
+		t.Fatalf("WaitTime: %v", err)
+	}
+	if !almostEqual(wq, 1, 1e-12) {
+		t.Errorf("Wq = %v, want 1", wq)
+	}
+	l, err := q.QueueLength()
+	if err != nil {
+		t.Fatalf("QueueLength: %v", err)
+	}
+	if !almostEqual(l, 1, 1e-12) {
+		t.Errorf("L = %v, want 1 (Little)", l)
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	for _, lam := range []float64{1, 1.5} {
+		q := MM1{Lambda: lam, Mu: 1}
+		if q.Stable() {
+			t.Errorf("lambda=%v should be unstable", lam)
+		}
+		if _, err := q.ResponseTime(); err != ErrUnstable {
+			t.Errorf("err = %v, want ErrUnstable", err)
+		}
+	}
+}
+
+func TestMM1BadParams(t *testing.T) {
+	if _, err := (MM1{Lambda: -1, Mu: 1}).ResponseTime(); err == nil {
+		t.Error("negative lambda should error")
+	}
+	if _, err := (MM1{Lambda: 0.1, Mu: 0}).ResponseTime(); err == nil {
+		t.Error("zero mu should error")
+	}
+	if _, err := (MM1{Lambda: 0.1, Mu: 1}).ProbN(-1); err == nil {
+		t.Error("negative n should error")
+	}
+}
+
+func TestMM1ProbNSumsToOne(t *testing.T) {
+	q := MM1{Lambda: 0.6, Mu: 1}
+	var sum float64
+	for n := 0; n < 200; n++ {
+		p, err := q.ProbN(n)
+		if err != nil {
+			t.Fatalf("ProbN(%d): %v", n, err)
+		}
+		sum += p
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("sum of probabilities = %v", sum)
+	}
+}
+
+// Property: the M/M/1 response time grows monotonically with lambda and
+// diverges as lambda -> mu.
+func TestMM1MonotoneProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		// lambda1 < lambda2 < mu = 1
+		l1 := float64(raw%90) / 100
+		l2 := l1 + 0.05
+		w1, err1 := (MM1{Lambda: l1, Mu: 1}).ResponseTime()
+		w2, err2 := (MM1{Lambda: l2, Mu: 1}).ResponseTime()
+		return err1 == nil && err2 == nil && w2 > w1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	// With one server, M/M/c must equal M/M/1 exactly.
+	for _, lam := range []float64{0.1, 0.5, 0.9} {
+		c := MMc{Lambda: lam, Mu: 1, Servers: 1}
+		s := MM1{Lambda: lam, Mu: 1}
+		wc, err := c.ResponseTime()
+		if err != nil {
+			t.Fatalf("MMc: %v", err)
+		}
+		ws, _ := s.ResponseTime()
+		if !almostEqual(wc, ws, 1e-9) {
+			t.Errorf("lambda=%v: MMc W=%v, MM1 W=%v", lam, wc, ws)
+		}
+	}
+}
+
+func TestMMcErlangCKnownValue(t *testing.T) {
+	// Classic check: c=2, lambda=1.5, mu=1 => a=1.5, rho=0.75.
+	// ErlangC = (a^c/c!)/( (1-rho) * sum_{k<c} a^k/k! + a^c/c! )
+	// = (1.125)/(0.25*(1+1.5) + 1.125) = 1.125/1.75 ≈ 0.642857.
+	q := MMc{Lambda: 1.5, Mu: 1, Servers: 2}
+	pc, err := q.ErlangC()
+	if err != nil {
+		t.Fatalf("ErlangC: %v", err)
+	}
+	if !almostEqual(pc, 0.6428571428, 1e-6) {
+		t.Errorf("ErlangC = %v, want ~0.642857", pc)
+	}
+}
+
+func TestMMcMoreServersLowerWait(t *testing.T) {
+	w1, err := (MMc{Lambda: 0.9, Mu: 1, Servers: 1}).WaitTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := (MMc{Lambda: 0.9, Mu: 1, Servers: 2}).WaitTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w4, err := (MMc{Lambda: 0.9, Mu: 1, Servers: 4}).WaitTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(w1 > w2 && w2 > w4) {
+		t.Errorf("wait should shrink with servers: %v %v %v", w1, w2, w4)
+	}
+}
+
+func TestMMcUnstableAndBadParams(t *testing.T) {
+	if _, err := (MMc{Lambda: 2, Mu: 1, Servers: 2}).ErlangC(); err != ErrUnstable {
+		t.Errorf("err = %v, want ErrUnstable", err)
+	}
+	if _, err := (MMc{Lambda: 1, Mu: 1, Servers: 0}).ErlangC(); err != ErrBadParam {
+		t.Errorf("err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestMG1ExponentialMatchesMM1(t *testing.T) {
+	for _, lam := range []float64{0.2, 0.5, 0.8} {
+		g := Exponential(lam, 1)
+		w, err := g.ResponseTime()
+		if err != nil {
+			t.Fatalf("MG1: %v", err)
+		}
+		wm, _ := (MM1{Lambda: lam, Mu: 1}).ResponseTime()
+		if !almostEqual(w, wm, 1e-9) {
+			t.Errorf("lambda=%v: MG1 exp W=%v, MM1 W=%v", lam, w, wm)
+		}
+	}
+}
+
+func TestMD1HalfTheQueueingOfMM1(t *testing.T) {
+	// M/D/1 queueing delay is exactly half of M/M/1's at equal rates.
+	lam, mu := 0.7, 1.0
+	d := Deterministic(lam, 1/mu)
+	wd, err := d.WaitTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, _ := (MM1{Lambda: lam, Mu: mu}).WaitTime()
+	if !almostEqual(wd, wm/2, 1e-9) {
+		t.Errorf("M/D/1 Wq = %v, want half of M/M/1's %v", wd, wm)
+	}
+}
+
+func TestMG1BadParams(t *testing.T) {
+	if _, err := (MG1{Lambda: 0.1, ES: 1, ES2: 0.5}).WaitTime(); err != ErrBadParam {
+		t.Errorf("ES2 < ES^2 must be rejected, err = %v", err)
+	}
+	if _, err := (MG1{Lambda: 2, ES: 1, ES2: 2}).WaitTime(); err != ErrUnstable {
+		t.Errorf("unstable err = %v", err)
+	}
+}
+
+func TestRepairmanSingleCustomer(t *testing.T) {
+	// One customer never queues: R = 1/mu exactly.
+	m := Repairman{N: 1, Z: 100, Mu: 0.01}
+	r, x, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 100, 1e-9) {
+		t.Errorf("R = %v, want 100", r)
+	}
+	// X = 1/(R+Z) = 1/200.
+	if !almostEqual(x, 0.005, 1e-12) {
+		t.Errorf("X = %v, want 0.005", x)
+	}
+}
+
+func TestRepairmanSaturation(t *testing.T) {
+	// With many customers the server saturates: X -> mu, R -> N/mu - Z.
+	m := Repairman{N: 100, Z: 10, Mu: 0.5}
+	r, x, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x, 0.5, 1e-6) {
+		t.Errorf("saturated X = %v, want ~mu=0.5", x)
+	}
+	wantR := float64(100)/0.5 - 10
+	if !almostEqual(r, wantR, 0.5) {
+		t.Errorf("saturated R = %v, want ~%v", r, wantR)
+	}
+}
+
+func TestRepairmanBadParams(t *testing.T) {
+	if _, _, err := (Repairman{N: 0, Z: 1, Mu: 1}).Solve(); err != ErrBadParam {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := (Repairman{N: 1, Z: -1, Mu: 1}).Solve(); err != ErrBadParam {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Property: repairman response time is non-decreasing in N.
+func TestRepairmanMonotoneProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%50) + 1
+		r1, _, err1 := (Repairman{N: n, Z: 50, Mu: 0.1}).Solve()
+		r2, _, err2 := (Repairman{N: n + 1, Z: 50, Mu: 0.1}).Solve()
+		return err1 == nil && err2 == nil && r2 >= r1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for light load the repairman approaches the open M/M/1 response.
+func TestRepairmanLightLoadMatchesOpenQueue(t *testing.T) {
+	// N customers with long think time Z: per-core rate L = 1/(Z + 1/mu),
+	// aggregate lambda = N*L stays far below mu, so R ~ M/M/1 response.
+	m := Repairman{N: 4, Z: 10000, Mu: 0.1}
+	r, x, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := MM1{Lambda: x, Mu: 0.1}
+	w, err := open.ResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-w)/w > 0.02 {
+		t.Errorf("light-load closed R=%v vs open W=%v differ by >2%%", r, w)
+	}
+}
+
+func TestMMcResponseErrorPropagation(t *testing.T) {
+	if _, err := (MMc{Lambda: 5, Mu: 1, Servers: 2}).ResponseTime(); err != ErrUnstable {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := (MMc{Lambda: 5, Mu: 1, Servers: 2}).WaitTime(); err != ErrUnstable {
+		t.Errorf("err = %v", err)
+	}
+	if (MMc{Lambda: 1, Mu: 1, Servers: 0}).Stable() {
+		t.Error("zero servers cannot be stable")
+	}
+}
+
+func TestMM1QueueLengthError(t *testing.T) {
+	if _, err := (MM1{Lambda: 2, Mu: 1}).QueueLength(); err != ErrUnstable {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := (MM1{Lambda: 2, Mu: 1}).WaitTime(); err != ErrUnstable {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := (MM1{Lambda: 2, Mu: 1}).ProbN(3); err != ErrUnstable {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMG1ResponseErrorPropagation(t *testing.T) {
+	if _, err := (MG1{Lambda: 2, ES: 1, ES2: 2}).ResponseTime(); err != ErrUnstable {
+		t.Errorf("err = %v", err)
+	}
+	if (MG1{Lambda: 0.1, ES: 1, ES2: 0.5}).Stable() {
+		t.Error("invalid moments cannot be stable")
+	}
+}
+
+func TestRepairmanAccessors(t *testing.T) {
+	m := Repairman{N: 4, Z: 100, Mu: 0.05}
+	r, err := m.ResponseTime()
+	if err != nil || r <= 0 {
+		t.Errorf("ResponseTime = %v, %v", r, err)
+	}
+	x, err := m.Throughput()
+	if err != nil || x <= 0 {
+		t.Errorf("Throughput = %v, %v", x, err)
+	}
+	if _, err := (Repairman{N: 1, Z: 1, Mu: 0}).ResponseTime(); err != ErrBadParam {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := (Repairman{N: 1, Z: 1, Mu: 0}).Throughput(); err != ErrBadParam {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,143 @@
+package sampler
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err != ErrBadWindow {
+		t.Errorf("err = %v", err)
+	}
+	s, err := New(100)
+	if err != nil || s.WindowCycles() != 100 {
+		t.Errorf("New: %v", err)
+	}
+}
+
+func TestNewMicros(t *testing.T) {
+	// 5 us at 2.66 GHz = 13300 cycles (the paper's Intel NUMA setting).
+	s, err := NewMicros(5, 2.66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.WindowCycles() != 13300 {
+		t.Errorf("window = %d cycles, want 13300", s.WindowCycles())
+	}
+}
+
+func TestRecordBinning(t *testing.T) {
+	s, _ := New(100)
+	s.Record(0)
+	s.Record(99)
+	s.Record(100)
+	s.Record(250)
+	w := s.Windows()
+	if len(w) != 3 {
+		t.Fatalf("windows = %v", w)
+	}
+	if w[0] != 2 || w[1] != 1 || w[2] != 1 {
+		t.Errorf("windows = %v", w)
+	}
+	if s.Total() != 4 {
+		t.Errorf("total = %d", s.Total())
+	}
+}
+
+func TestInteriorEmptyWindowsKept(t *testing.T) {
+	s, _ := New(10)
+	s.Record(5)
+	s.Record(95)
+	w := s.Windows()
+	if len(w) != 10 {
+		t.Fatalf("windows = %v", w)
+	}
+	empty := 0
+	for _, c := range w {
+		if c == 0 {
+			empty++
+		}
+	}
+	if empty != 8 {
+		t.Errorf("empty windows = %d, want 8", empty)
+	}
+}
+
+func TestNonEmptyFraction(t *testing.T) {
+	s, _ := New(10)
+	if s.NonEmptyFraction() != 0 {
+		t.Error("empty sampler fraction should be 0")
+	}
+	s.Record(5)
+	s.Record(15)
+	s.Record(95) // windows 0,1,9 non-empty of 10
+	if f := s.NonEmptyFraction(); f != 0.3 {
+		t.Errorf("fraction = %v, want 0.3", f)
+	}
+}
+
+func TestHook(t *testing.T) {
+	s, _ := New(50)
+	hook := s.Hook()
+	hook(10, 3)
+	hook(60, 1)
+	if s.Total() != 2 || len(s.Windows()) != 2 {
+		t.Errorf("hook did not record: %v", s.Windows())
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	s, _ := New(10)
+	s.Record(5)
+	s.PadTo(100) // windows 0..9
+	if len(s.Windows()) != 10 {
+		t.Errorf("windows = %d, want 10", len(s.Windows()))
+	}
+	if f := s.NonEmptyFraction(); f != 0.1 {
+		t.Errorf("fraction = %v, want 0.1", f)
+	}
+	// Padding never shrinks, and boundary cycles round up correctly.
+	s.PadTo(50)
+	if len(s.Windows()) != 10 {
+		t.Error("PadTo shrank the series")
+	}
+	s.PadTo(101) // cycle 101 belongs to window 10
+	if len(s.Windows()) != 11 {
+		t.Errorf("windows = %d, want 11", len(s.Windows()))
+	}
+	s.PadTo(0)
+	if len(s.Windows()) != 11 {
+		t.Error("PadTo(0) should be a no-op")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, _ := New(10)
+	s.Record(5)
+	s.Reset()
+	if s.Total() != 0 || len(s.Windows()) != 0 {
+		t.Error("reset incomplete")
+	}
+	s.Record(5)
+	if s.Total() != 1 {
+		t.Error("sampler unusable after reset")
+	}
+}
+
+// Property: total equals the sum of window counts for any record sequence.
+func TestTotalConservationProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		s, _ := New(64)
+		for _, tm := range times {
+			s.Record(uint64(tm))
+		}
+		var sum uint64
+		for _, c := range s.Windows() {
+			sum += c
+		}
+		return sum == s.Total() && s.Total() == uint64(len(times))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

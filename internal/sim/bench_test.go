@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// BenchmarkSimulatorThroughput measures end-to-end simulated references per
+// second on the small test machine under memory-bound load.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec := testSpec()
+	refs := b.N
+	perThread := refs/4 + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 4},
+		memBoundStreams(4, perThread))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.OffChipRequests == 0 {
+		b.Fatal("no traffic")
+	}
+}
+
+// BenchmarkSimulatorCacheHits measures the hit path (batched execution).
+func BenchmarkSimulatorCacheHits(b *testing.B) {
+	spec := testSpec()
+	var refs []trace.Ref
+	n := b.N
+	if n > 1_000_000 {
+		n = 1_000_000
+	}
+	for i := 0; i < n; i++ {
+		refs = append(refs, trace.Ref{Addr: uint64(i%8) * 64, Kind: trace.Load, Work: 1})
+	}
+	b.ResetTimer()
+	iters := (b.N + n - 1) / n
+	for i := 0; i < iters; i++ {
+		if _, err := Run(Config{Spec: spec, Threads: 1, Cores: 1},
+			[]trace.Stream{trace.FromSlice(refs)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

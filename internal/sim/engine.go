@@ -1,0 +1,545 @@
+package sim
+
+import (
+	"repro/internal/eventq"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// pendingIssue is an off-chip request waiting for an MSHR slot.
+type pendingIssue struct {
+	addr      uint64
+	dep       bool
+	traversal uint64 // on-chip cache traversal latency riding on the request
+}
+
+// thread is one program thread: a reference stream plus execution state.
+type thread struct {
+	id          int
+	core        *core
+	stream      trace.Stream
+	outstanding int  // off-chip requests in flight
+	blocked     bool // waiting on a dependent load, an MSHR slot or a barrier
+	waitDep     bool // blocked specifically on a dependent load
+	wantSlot    bool // blocked waiting for any MSHR slot
+	atBarrier   bool // blocked at a synchronization barrier
+	barrierSeq  int  // barriers passed (the ordinal of the next one)
+	blockStart  uint64
+	pending     pendingIssue // valid when wantSlot
+	finished    bool
+	smtCarry    float64 // fractional SMT slowdown cycles carried forward
+	st          ThreadStats
+}
+
+// core is one logical core: a run queue of pinned threads multiplexed
+// round-robin.
+type core struct {
+	id          int
+	socket      int
+	threads     []*thread
+	cur         int // index into threads of the running thread
+	quantumLeft uint64
+	stepQueued  bool // a step event is scheduled or executing
+}
+
+// engine wires machine, threads and cores to the event queue.
+type engine struct {
+	cfg     Config
+	m       *machine.Machine
+	q       *eventq.Queue
+	threads []*thread
+	cores   []*core
+	// l1Latency is subtracted from hit latencies: first-level hits are
+	// considered fully pipelined (no stall).
+	l1Latency uint64
+
+	// Page placement.
+	pageHome map[uint64]int // page number -> MC index
+	// firstTouchRR rotates among a socket's local controllers.
+	firstTouchRR []int
+	// interleaveRR rotates over activeMCs for the Interleave policy.
+	interleaveRR int
+	activeMCs    []int
+
+	// Barrier bookkeeping: arrivals per barrier ordinal, plus the count of
+	// finished threads (which count as arrived everywhere).
+	barrierArrivals map[int]int
+	finishedThreads int
+
+	// Coherence directory (Config.Coherence): per cache line, bits 0-15
+	// record which sockets hold a copy. A store invalidates every other
+	// socket's copies.
+	directory     map[uint64]uint16
+	invalidations uint64
+}
+
+func newEngine(cfg Config, m *machine.Machine, q *eventq.Queue) *engine {
+	e := &engine{
+		cfg:             cfg,
+		m:               m,
+		q:               q,
+		pageHome:        make(map[uint64]int),
+		firstTouchRR:    make([]int, cfg.Spec.Sockets),
+		barrierArrivals: make(map[int]int),
+	}
+	if cfg.Coherence {
+		e.directory = make(map[uint64]uint16)
+	}
+	if len(cfg.Spec.Levels) > 0 {
+		e.l1Latency = cfg.Spec.Levels[0].Latency
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		e.cores = append(e.cores, &core{
+			id:          c,
+			socket:      cfg.Spec.SocketOf(c),
+			quantumLeft: cfg.Quantum,
+		})
+	}
+	// Active controllers: those local to sockets with at least one active
+	// core, in controller order (the paper's activation order).
+	seen := map[int]bool{}
+	for c := 0; c < cfg.Cores; c++ {
+		for _, mc := range cfg.Spec.LocalMCs(cfg.Spec.SocketOf(c)) {
+			if !seen[mc] {
+				seen[mc] = true
+				e.activeMCs = append(e.activeMCs, mc)
+			}
+		}
+	}
+	return e
+}
+
+// addThread registers thread i with stream s, pinning it to core i % Cores.
+func (e *engine) addThread(i int, s trace.Stream) {
+	th := &thread{id: i, stream: s}
+	e.threads = append(e.threads, th)
+	c := e.cores[i%len(e.cores)]
+	th.core = c
+	c.threads = append(c.threads, th)
+}
+
+// start schedules the first step of every core.
+func (e *engine) start() {
+	for _, c := range e.cores {
+		e.scheduleStep(c, 0)
+	}
+}
+
+// scheduleStep queues a step for core c after delay cycles, unless one is
+// already queued.
+func (e *engine) scheduleStep(c *core, delay uint64) {
+	if c.stepQueued {
+		return
+	}
+	c.stepQueued = true
+	e.q.After(delay, func() {
+		c.stepQueued = false
+		e.step(c)
+	})
+}
+
+// currentThread returns the thread the core should attend to, rotating
+// past finished and barrier-blocked threads (a barrier yields the core; a
+// memory stall does not — the OS would never switch on a cache miss). It
+// returns nil when every pinned thread is finished or waiting at a
+// barrier, and may return a memory-blocked thread, in which case the core
+// idles until the completion callback resumes it.
+func (c *core) currentThread() *thread {
+	n := len(c.threads)
+	for i := 0; i < n; i++ {
+		th := c.threads[c.cur]
+		if th.finished || (th.blocked && th.atBarrier) {
+			c.cur = (c.cur + 1) % n
+			continue
+		}
+		return th
+	}
+	return nil
+}
+
+// rotate advances the round-robin pointer and resets the quantum.
+func (c *core) rotate(quantum uint64) {
+	if len(c.threads) > 1 {
+		c.cur = (c.cur + 1) % len(c.threads)
+	}
+	c.quantumLeft = quantum
+}
+
+// step runs one batch of the core's current thread: work cycles and cache
+// hits are executed inline until an off-chip miss, the batch limit, or the
+// end of the stream.
+func (e *engine) step(c *core) {
+	th := c.currentThread()
+	if th == nil || th.blocked {
+		return
+	}
+	// SMT: while the sibling hardware thread is active on the shared
+	// physical core, each work cycle costs SMTSlowdown cycles; the excess
+	// shows up as stall cycles (issue-slot competition), matching how the
+	// paper's per-thread counters see HyperThreading.
+	smtExtra := 0.0
+	if e.cfg.Spec.SMT > 1 {
+		if sib := e.cfg.Spec.SMTSibling(c.id); sib >= 0 && sib < len(e.cores) && e.coreBusy(e.cores[sib]) {
+			smtExtra = e.cfg.Spec.SMTSlowdownFactor() - 1
+		}
+	}
+	var advance uint64
+	refs := 0
+	for {
+		if advance >= e.cfg.BatchLimit || refs >= 8192 {
+			break
+		}
+		ref, ok := th.stream.Next()
+		if !ok {
+			th.finished = true
+			th.st.Finish = e.q.Now() + advance
+			e.finishedThreads++
+			// A finished thread counts as arrived at every remaining
+			// barrier; waiters may now be releasable.
+			e.q.After(advance, e.recheckBarriers)
+			c.rotate(e.cfg.Quantum)
+			break
+		}
+		refs++
+		advance += uint64(ref.Work)
+		th.st.Work += uint64(ref.Work)
+		th.st.Instructions += 1 + uint64(ref.Work)
+		if smtExtra > 0 && ref.Work > 0 {
+			scaled := float64(ref.Work)*smtExtra + th.smtCarry
+			extra := uint64(scaled)
+			th.smtCarry = scaled - float64(extra)
+			advance += extra
+			th.st.Stall += extra
+		}
+
+		if ref.Sync {
+			// Barrier: arrive in a dedicated event at now+advance.
+			e.q.After(advance, func() { e.arriveBarrier(c, th) })
+			e.chargeQuantum(c, advance)
+			return
+		}
+
+		res := e.m.Hierarchies[c.id].Access(ref.Addr)
+		if e.directory != nil {
+			e.coherence(c, ref)
+		}
+		if !res.Miss {
+			// Hits beyond the first level stall the pipeline for the extra
+			// latency; first-level hits are fully pipelined.
+			extra := res.Latency - e.l1Latency
+			if res.HitLevel == 0 {
+				extra = 0
+			}
+			th.st.Stall += extra
+			advance += extra
+			continue
+		}
+		// Off-chip miss: the request is issued at now+advance in a
+		// dedicated event. The cache-traversal latency rides on the
+		// request's path to memory (it is pipelined, not serialized on the
+		// core): a dependent load pays it inside its block time, while
+		// independent misses overlap it with further execution.
+		addr, dep, traversal := ref.Addr, ref.Dep, res.Latency
+		e.q.After(advance, func() { e.issue(c, th, addr, dep, traversal) })
+		e.chargeQuantum(c, advance)
+		return
+	}
+	e.chargeQuantum(c, advance)
+	if th.finished {
+		// Move on to the next runnable thread immediately.
+		if c.currentThread() != nil {
+			e.scheduleStep(c, advance)
+		}
+		return
+	}
+	e.scheduleStep(c, advance)
+}
+
+// coreBusy reports whether the core has any unfinished thread — the SMT
+// sibling-activity test.
+func (e *engine) coreBusy(c *core) bool {
+	for _, th := range c.threads {
+		if !th.finished {
+			return true
+		}
+	}
+	return false
+}
+
+// chargeQuantum deducts the batch duration from the core's quantum,
+// rotating the run queue on expiry.
+func (e *engine) chargeQuantum(c *core, advance uint64) {
+	if advance >= c.quantumLeft {
+		c.rotate(e.cfg.Quantum)
+	} else {
+		c.quantumLeft -= advance
+	}
+}
+
+// coherence applies the invalidation protocol for one access: stores drop
+// every other socket's copies of the line (and future accesses there miss
+// again — coherence misses); loads and stores record this socket's copy.
+func (e *engine) coherence(c *core, ref trace.Ref) {
+	line := ref.Addr >> 6
+	mask := e.directory[line]
+	bit := uint16(1) << uint(c.socket)
+	if ref.Kind == trace.Store && mask&^bit != 0 {
+		for s := 0; s < e.cfg.Spec.Sockets; s++ {
+			if s == c.socket || mask&(1<<uint(s)) == 0 {
+				continue
+			}
+			// Drop the copy from every core hierarchy of socket s; shared
+			// levels are invalidated through whichever hierarchy holds
+			// them first.
+			for coreID := s * e.cfg.Spec.CoresPerSocket; coreID < (s+1)*e.cfg.Spec.CoresPerSocket; coreID++ {
+				if e.m.Hierarchies[coreID].Invalidate(ref.Addr) {
+					e.invalidations++
+				}
+			}
+		}
+		mask = 0
+	}
+	e.directory[line] = mask | bit
+}
+
+// arriveBarrier handles a thread reaching barrier ordinal th.barrierSeq:
+// the last arriver releases everyone, earlier arrivers block and yield the
+// core to the next runnable thread.
+func (e *engine) arriveBarrier(c *core, th *thread) {
+	seq := th.barrierSeq
+	th.barrierSeq++
+	e.barrierArrivals[seq]++
+	if e.barrierArrivals[seq]+e.finishedThreads >= e.cfg.Threads {
+		e.releaseBarrier(seq)
+		e.scheduleStep(c, 0)
+		return
+	}
+	th.blocked = true
+	th.atBarrier = true
+	th.blockStart = e.q.Now()
+	// Yield: another thread pinned to this core may run meanwhile.
+	c.rotate(e.cfg.Quantum)
+	e.scheduleStep(c, 0)
+}
+
+// releaseBarrier wakes every thread waiting at barrier ordinal seq.
+func (e *engine) releaseBarrier(seq int) {
+	delete(e.barrierArrivals, seq)
+	for _, th := range e.threads {
+		if th.blocked && th.atBarrier && th.barrierSeq == seq+1 {
+			// Barrier waits are tracked separately and NOT added to Stall:
+			// a blocking (futex-style) barrier deschedules the thread, so
+			// its cycle counters do not advance while it waits — matching
+			// the paper's per-thread PAPI measurements.
+			th.st.SyncStall += e.q.Now() - th.blockStart
+			th.blocked = false
+			th.atBarrier = false
+			e.scheduleStep(th.core, 0)
+		}
+	}
+}
+
+// recheckBarriers re-evaluates release conditions after a thread finished.
+func (e *engine) recheckBarriers() {
+	for seq, arrived := range e.barrierArrivals {
+		if arrived+e.finishedThreads >= e.cfg.Threads {
+			e.releaseBarrier(seq)
+		}
+	}
+}
+
+// issue attempts to launch an off-chip request, blocking the thread while
+// its MSHRs are full.
+func (e *engine) issue(c *core, th *thread, addr uint64, dep bool, traversal uint64) {
+	if th.outstanding >= e.cfg.Spec.MSHRs {
+		th.blocked = true
+		th.wantSlot = true
+		th.blockStart = e.q.Now()
+		th.pending = pendingIssue{addr: addr, dep: dep, traversal: traversal}
+		return
+	}
+	e.launch(c, th, addr, dep, traversal)
+	if dep {
+		th.blocked = true
+		th.waitDep = true
+		th.blockStart = e.q.Now()
+		return
+	}
+	e.scheduleStep(c, 0)
+}
+
+// launch routes one off-chip request: on-chip cache traversal, optional UMA
+// bus, interconnect hops, memory-controller service, and the return path.
+func (e *engine) launch(c *core, th *thread, addr uint64, dep bool, traversal uint64) {
+	th.outstanding++
+	th.st.OffChip++
+	if e.cfg.MissHook != nil {
+		e.cfg.MissHook(e.q.Now(), c.id)
+	}
+
+	home := e.homeMC(addr, c)
+	hops := e.hopsFrom(c.socket, home)
+	if hops > 0 {
+		th.st.Remote++
+	}
+	hopLat := uint64(hops) * e.cfg.Spec.HopLatency
+
+	// link occupies the source socket's interconnect link (if modeled and
+	// the access is remote) and then continues; requests queue when the
+	// link's bandwidth saturates — the QPI/HT effect that makes remote
+	// accesses increasingly costly as more sockets exchange data.
+	link := func(then func()) {
+		if hops == 0 || len(e.m.LinkServers) == 0 {
+			then()
+			return
+		}
+		e.m.LinkServers[c.socket].Submit(addr, func(bool) { then() })
+	}
+	deliver := func() {
+		e.m.MCs[home].Submit(addr, func(rowHit bool) {
+			done := func() { e.complete(c, th, dep) }
+			// Return path: link occupancy (the data payload), then hops.
+			link(func() {
+				if hopLat > 0 {
+					e.q.After(hopLat, done)
+				} else {
+					done()
+				}
+			})
+		})
+	}
+	// Outbound path: cache traversal, link, then interconnect hops.
+	toMC := func() {
+		link(func() {
+			if hopLat > 0 {
+				e.q.After(hopLat, deliver)
+			} else {
+				deliver()
+			}
+		})
+	}
+	viaBus := func() {
+		if len(e.m.Buses) > 0 {
+			// UMA: the request occupies the socket's front-side bus on its
+			// way to the shared controller.
+			e.m.Buses[c.socket].Submit(addr, func(bool) { toMC() })
+		} else {
+			toMC()
+		}
+	}
+	if traversal > 0 {
+		e.q.After(traversal, viaBus)
+	} else {
+		viaBus()
+	}
+}
+
+// complete handles the return of one off-chip request.
+func (e *engine) complete(c *core, th *thread, wasDep bool) {
+	th.outstanding--
+	if !th.blocked {
+		return
+	}
+	switch {
+	case th.waitDep && wasDep:
+		e.unblock(c, th)
+		e.scheduleStep(c, 0)
+	case th.wantSlot:
+		pend := th.pending
+		e.unblock(c, th)
+		e.issue(c, th, pend.addr, pend.dep, pend.traversal)
+	}
+}
+
+// unblock charges the blocked interval as memory stall and clears flags.
+func (e *engine) unblock(c *core, th *thread) {
+	wait := e.q.Now() - th.blockStart
+	th.st.Stall += wait
+	th.st.MemStall += wait
+	th.blocked = false
+	th.waitDep = false
+	th.wantSlot = false
+}
+
+// homeMC returns the controller owning addr's page, assigning it per the
+// placement policy on first touch.
+func (e *engine) homeMC(addr uint64, c *core) int {
+	page := addr / e.cfg.PageBytes
+	if home, ok := e.pageHome[page]; ok {
+		return home
+	}
+	var home int
+	switch e.cfg.Placement {
+	case Interleave:
+		home = e.activeMCs[e.interleaveRR%len(e.activeMCs)]
+		e.interleaveRR++
+	default: // FirstTouch
+		local := e.cfg.Spec.LocalMCs(c.socket)
+		home = local[e.firstTouchRR[c.socket]%len(local)]
+		e.firstTouchRR[c.socket]++
+	}
+	e.pageHome[page] = home
+	return home
+}
+
+// hopsFrom returns the interconnect distance from a socket to a controller:
+// the minimum hops from any of the socket's local controllers.
+func (e *engine) hopsFrom(socket, mc int) int {
+	best := -1
+	for _, lmc := range e.cfg.Spec.LocalMCs(socket) {
+		h := e.m.Topo.Hops(lmc, mc)
+		if best < 0 || h < best {
+			best = h
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// result assembles the run counters.
+func (e *engine) result() Result {
+	r := Result{
+		MachineName: e.cfg.Spec.Name,
+		Threads:     e.cfg.Threads,
+		Cores:       e.cfg.Cores,
+		Makespan:    e.q.Now(),
+	}
+	for _, th := range e.threads {
+		if !th.finished {
+			r.Aborted = true
+			// Charge an unfinished blocked interval up to the abort time so
+			// the partial counters stay meaningful. Barrier waits go to
+			// SyncStall (blocking-barrier semantics); memory waits to Stall.
+			if th.blocked {
+				wait := e.q.Now() - th.blockStart
+				if th.atBarrier {
+					th.st.SyncStall += wait
+				} else {
+					th.st.Stall += wait
+					th.st.MemStall += wait
+				}
+				th.blocked = false
+			}
+		}
+		r.PerThread = append(r.PerThread, th.st)
+		r.TotalCycles += th.st.Cycles()
+		r.WorkCycles += th.st.Work
+		r.StallCycles += th.st.Stall
+		r.MemStallCycles += th.st.MemStall
+		r.SyncStallCycles += th.st.SyncStall
+		r.Instructions += th.st.Instructions
+		r.OffChipRequests += th.st.OffChip
+		r.RemoteRequests += th.st.Remote
+	}
+	r.LLCMisses = e.m.LLCMisses()
+	r.Invalidations = e.invalidations
+	for _, mc := range e.m.MCs {
+		r.MCStats = append(r.MCStats, mc.Stats())
+	}
+	for _, b := range e.m.Buses {
+		r.BusStats = append(r.BusStats, b.Stats())
+	}
+	return r
+}

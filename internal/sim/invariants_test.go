@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestDeterminism: identical configurations must produce bit-identical
+// results — the property that makes the experiment cache sound.
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		wl, err := workload.NewTuned("CG", workload.W, workload.Tuning{RefScale: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := testSpec()
+		res, err := Run(Config{Spec: spec, Threads: 4, Cores: 3}, wl.Streams(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalCycles != b.TotalCycles || a.StallCycles != b.StallCycles ||
+		a.LLCMisses != b.LLCMisses || a.Makespan != b.Makespan {
+		t.Errorf("non-deterministic results:\n%+v\n%+v", a, b)
+	}
+	for i := range a.PerThread {
+		if a.PerThread[i] != b.PerThread[i] {
+			t.Errorf("thread %d differs: %+v vs %+v", i, a.PerThread[i], b.PerThread[i])
+		}
+	}
+}
+
+// TestFillProcessorFirst: with n <= cores-per-socket, only socket 0's
+// controller sees traffic; crossing the boundary activates the next one.
+func TestFillProcessorFirst(t *testing.T) {
+	spec := testSpec() // 2 sockets x 2 cores
+	streams := func() []trace.Stream { return memBoundStreams(4, 50) }
+
+	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 2}, streams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MCStats[1].Requests != 0 {
+		t.Errorf("n=2: MC1 served %d requests, want 0", res.MCStats[1].Requests)
+	}
+	res, err = Run(Config{Spec: spec, Threads: 4, Cores: 3}, streams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MCStats[1].Requests == 0 {
+		t.Error("n=3: MC1 idle despite an active core on socket 1")
+	}
+}
+
+// Property: for random (but valid) workload shapes, the fundamental counter
+// identities hold and the run terminates.
+func TestCounterIdentitiesProperty(t *testing.T) {
+	f := func(seed int64, nThreads, nCores uint8, depBits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := testSpec()
+		threads := int(nThreads%4) + 1
+		cores := int(nCores)%spec.TotalCores() + 1
+
+		var streams []trace.Stream
+		var wantWork, wantRefs uint64
+		for th := 0; th < threads; th++ {
+			var refs []trace.Ref
+			n := rng.Intn(300) + 1
+			for i := 0; i < n; i++ {
+				r := trace.Ref{
+					Addr: uint64(rng.Intn(1 << 22)),
+					Kind: trace.Kind(rng.Intn(2)),
+					Dep:  depBits&1 != 0 && rng.Intn(3) == 0,
+					Work: uint32(rng.Intn(20)),
+				}
+				wantWork += uint64(r.Work)
+				wantRefs++
+				refs = append(refs, r)
+			}
+			streams = append(streams, trace.FromSlice(refs))
+		}
+		res, err := Run(Config{Spec: spec, Threads: threads, Cores: cores}, streams)
+		if err != nil || res.Aborted {
+			return false
+		}
+		if res.TotalCycles != res.WorkCycles+res.StallCycles {
+			return false
+		}
+		if res.WorkCycles != wantWork {
+			return false
+		}
+		if res.Instructions != wantRefs+wantWork {
+			return false
+		}
+		if res.OffChipRequests != res.LLCMisses {
+			return false
+		}
+		if res.MemStallCycles > res.StallCycles {
+			return false
+		}
+		// Conservation at the controllers: every off-chip request is
+		// eventually served.
+		var served uint64
+		for _, mc := range res.MCStats {
+			served += mc.Requests
+		}
+		return served == res.OffChipRequests
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: remote requests never exceed off-chip requests, and UMA
+// machines never report remote traffic.
+func TestRemoteBoundsProperty(t *testing.T) {
+	f := func(seed int64, uma bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := testSpec()
+		if uma {
+			spec = umaSpec()
+		}
+		var streams []trace.Stream
+		threads := spec.TotalCores()
+		for th := 0; th < threads; th++ {
+			var refs []trace.Ref
+			for i := 0; i < 100; i++ {
+				refs = append(refs, trace.Ref{
+					Addr: uint64(rng.Intn(1 << 24)),
+					Kind: trace.Load,
+					Work: 1,
+				})
+			}
+			streams = append(streams, trace.FromSlice(refs))
+		}
+		res, err := Run(Config{Spec: spec, Threads: threads, Cores: threads, Placement: Interleave}, streams)
+		if err != nil {
+			return false
+		}
+		if res.RemoteRequests > res.OffChipRequests {
+			return false
+		}
+		if uma && res.RemoteRequests != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The makespan can never be shorter than any thread's finish time, and the
+// last finish equals the interesting part of the makespan.
+func TestFinishTimesWithinMakespan(t *testing.T) {
+	spec := testSpec()
+	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 2}, memBoundStreams(4, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i, th := range res.PerThread {
+		if th.Finish > res.Makespan {
+			t.Errorf("thread %d finish %d beyond makespan %d", i, th.Finish, res.Makespan)
+		}
+		if th.Finish > last {
+			last = th.Finish
+		}
+	}
+	if last == 0 {
+		t.Error("no finish times recorded")
+	}
+}

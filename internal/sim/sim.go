@@ -1,0 +1,217 @@
+// Package sim is the execution-driven multicore simulator: it runs
+// per-thread memory-reference streams (internal/trace) on a machine
+// description (internal/machine), producing the hardware-counter style
+// measurements the paper collects with PAPI — total cycles, work cycles,
+// stall cycles, instructions and last-level cache misses — plus memory
+// controller and bus statistics.
+//
+// # Core model
+//
+// Cores are superscalar-like state machines with MSHR-limited memory-level
+// parallelism: a core keeps retiring work and issuing independent off-chip
+// requests until either its MSHRs fill or the stream issues a dependent
+// load, and then stalls. Stall time therefore includes the queueing delay
+// at the memory controllers, which is how contention appears in the
+// counters. This matches the paper's observation that the growth in total
+// cycles under contention is entirely growth in stall cycles.
+//
+// # Experiment protocol
+//
+// Following the paper (section III-A), a run has a fixed number of threads
+// (by default one per machine core) executed on a variable number of active
+// cores chosen fill-processor-first; threads are pinned round-robin to the
+// active cores and multiplexed with a round-robin quantum when the cores
+// are oversubscribed. NUMA pages are placed first-touch (or interleaved),
+// so data homes onto the controllers of the sockets whose cores touch it.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/machine"
+	"repro/internal/memctrl"
+	"repro/internal/trace"
+)
+
+// Placement selects the NUMA page-placement policy.
+type Placement uint8
+
+const (
+	// FirstTouch homes each page on a controller local to the socket whose
+	// core first touches it (Linux default; what the paper's numactl setup
+	// produces for partitioned workloads).
+	FirstTouch Placement = iota
+	// Interleave round-robins pages across the controllers of all active
+	// sockets.
+	Interleave
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case FirstTouch:
+		return "first-touch"
+	case Interleave:
+		return "interleave"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Spec is the machine to simulate.
+	Spec machine.Spec
+	// Threads is the number of program threads; 0 defaults to the machine's
+	// total cores (the paper's protocol).
+	Threads int
+	// Cores is the number of active cores, activated fill-processor-first;
+	// 0 defaults to all cores.
+	Cores int
+	// Quantum is the round-robin time slice in cycles for oversubscribed
+	// cores; 0 defaults to 50000.
+	Quantum uint64
+	// BatchLimit bounds how many cycles a core may advance per simulation
+	// event while executing cache hits; 0 defaults to 2000.
+	BatchLimit uint64
+	// PageBytes is the placement granularity; 0 defaults to 4096.
+	PageBytes uint64
+	// Placement selects the page-placement policy.
+	Placement Placement
+	// MissHook, when non-nil, is invoked at every off-chip request with the
+	// simulated issue time and the issuing core (used by the burstiness
+	// sampler).
+	MissHook func(now uint64, core int)
+	// MaxCycles aborts the run when the simulated clock passes it; 0 means
+	// unlimited.
+	MaxCycles uint64
+	// Coherence enables the MESI-style invalidation directory: a store to
+	// a line cached by another socket invalidates the remote copies, so
+	// true- and false-sharing produce real coherence misses. Off by
+	// default; the workloads model their barrier coherence traffic
+	// synthetically (see internal/workload), which stays accurate without
+	// the directory's memory overhead.
+	Coherence bool
+}
+
+// ThreadStats are the per-thread counters.
+type ThreadStats struct {
+	// Work is the number of cycles in which the thread retired computation.
+	Work uint64
+	// Stall counts all cycles the thread could not retire: cache-hit
+	// latency beyond L1, plus off-chip memory waiting.
+	Stall uint64
+	// MemStall is the subset of Stall spent waiting for off-chip requests
+	// (dependent-load waits and MSHR-full waits) — the paper's M(n)+part of
+	// B(n).
+	MemStall uint64
+	// SyncStall is the time spent blocked at barriers. It is NOT part of
+	// Stall or Cycles: a blocking barrier deschedules the thread, so its
+	// hardware cycle counters do not advance (PAPI semantics).
+	SyncStall uint64
+	// Instructions approximates retired instructions (one per reference
+	// plus one per work cycle).
+	Instructions uint64
+	// OffChip counts LLC misses issued off-chip by this thread.
+	OffChip uint64
+	// Remote counts the subset of OffChip served by a non-local controller.
+	Remote uint64
+	// Finish is the simulated time the thread completed.
+	Finish uint64
+}
+
+// Cycles returns Work+Stall, the thread's total cycle count.
+func (t ThreadStats) Cycles() uint64 { return t.Work + t.Stall }
+
+// Result aggregates one run.
+type Result struct {
+	// MachineName and Cores/Threads echo the configuration.
+	MachineName string
+	Threads     int
+	Cores       int
+	// TotalCycles is the sum over threads of work+stall cycles — the
+	// paper's C(n).
+	TotalCycles uint64
+	// WorkCycles is the summed work cycles W(n).
+	WorkCycles uint64
+	// StallCycles is the summed stall cycles B(n)+M(n).
+	StallCycles uint64
+	// MemStallCycles is the summed off-chip waiting time.
+	MemStallCycles uint64
+	// SyncStallCycles is the summed barrier waiting time (not included in
+	// TotalCycles; see ThreadStats.SyncStall).
+	SyncStallCycles uint64
+	// Instructions is the summed instruction count.
+	Instructions uint64
+	// LLCMisses is the number of demand misses at the last cache level
+	// (equals OffChipRequests).
+	LLCMisses uint64
+	// OffChipRequests is the number of requests submitted to memory
+	// controllers.
+	OffChipRequests uint64
+	// RemoteRequests is the subset served by remote controllers.
+	RemoteRequests uint64
+	// Invalidations counts cross-socket copies dropped by the coherence
+	// directory (0 unless Config.Coherence).
+	Invalidations uint64
+	// Makespan is the wall-clock simulated duration in cycles.
+	Makespan uint64
+	// PerThread has one entry per thread.
+	PerThread []ThreadStats
+	// MCStats has one entry per memory controller.
+	MCStats []memctrl.Stats
+	// BusStats has one entry per UMA bus (empty for NUMA machines).
+	BusStats []memctrl.Stats
+	// Aborted reports that MaxCycles was reached before completion.
+	Aborted bool
+}
+
+// ErrBadConfig is returned for inconsistent run configurations.
+var ErrBadConfig = errors.New("sim: bad configuration")
+
+// Run executes streams (one per thread) on the configured machine and
+// returns the measured counters.
+func Run(cfg Config, streams []trace.Stream) (Result, error) {
+	if cfg.Threads == 0 {
+		cfg.Threads = cfg.Spec.TotalCores()
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = cfg.Spec.TotalCores()
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 50000
+	}
+	if cfg.BatchLimit == 0 {
+		cfg.BatchLimit = 2000
+	}
+	if cfg.PageBytes == 0 {
+		cfg.PageBytes = 4096
+	}
+	if cfg.Cores < 1 || cfg.Cores > cfg.Spec.TotalCores() {
+		return Result{}, fmt.Errorf("%w: cores %d out of range 1..%d", ErrBadConfig, cfg.Cores, cfg.Spec.TotalCores())
+	}
+	if len(streams) != cfg.Threads {
+		return Result{}, fmt.Errorf("%w: %d streams for %d threads", ErrBadConfig, len(streams), cfg.Threads)
+	}
+
+	var q eventq.Queue
+	m, err := machine.Build(cfg.Spec, &q)
+	if err != nil {
+		return Result{}, err
+	}
+	e := newEngine(cfg, m, &q)
+	for i, s := range streams {
+		e.addThread(i, s)
+	}
+	e.start()
+
+	if cfg.MaxCycles > 0 {
+		q.RunWhile(func() bool { return q.Now() < cfg.MaxCycles })
+	} else {
+		q.Run()
+	}
+	defer trace.StopAll(streams...)
+	return e.result(), nil
+}

@@ -1,0 +1,464 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/memctrl"
+	"repro/internal/trace"
+)
+
+// testSpec returns a tiny 2-socket NUMA machine for fast tests.
+func testSpec() machine.Spec {
+	return machine.Spec{
+		Name:           "test2x2",
+		Sockets:        2,
+		CoresPerSocket: 2,
+		ClockGHz:       1.0,
+		Levels: []machine.CacheLevel{
+			{Config: cache.Config{Name: "L1", Size: 1 << 10, Line: 64, Ways: 2, Latency: 2}, Scope: machine.PerCore},
+			{Config: cache.Config{Name: "L2", Size: 8 << 10, Line: 64, Ways: 4, Latency: 10}, Scope: machine.PerSocket},
+		},
+		MCsPerSocket: 1,
+		MC: memctrl.Config{
+			Channels: 1, Banks: 4, RowBytes: 2048, LineBytes: 64,
+			HitLatency: 20, MissLatency: 60, Discipline: memctrl.FCFS,
+		},
+		HopLatency: 50,
+		Links:      [][2]int{{0, 1}},
+		MSHRs:      4,
+	}
+}
+
+// umaSpec returns a tiny UMA machine with per-socket buses.
+func umaSpec() machine.Spec {
+	s := testSpec()
+	s.Name = "testUMA"
+	s.MCsPerSocket = 0
+	s.Links = nil
+	s.HopLatency = 0
+	s.Bus = &machine.BusConfig{Occupancy: 8}
+	return s
+}
+
+func singleStream(refs []trace.Ref) []trace.Stream {
+	return []trace.Stream{trace.FromSlice(refs)}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	spec := testSpec()
+	if _, err := Run(Config{Spec: spec, Threads: 1, Cores: 99}, singleStream(nil)); err == nil {
+		t.Error("out-of-range cores accepted")
+	}
+	if _, err := Run(Config{Spec: spec, Threads: 2, Cores: 1}, singleStream(nil)); err == nil {
+		t.Error("stream/thread mismatch accepted")
+	}
+	bad := spec
+	bad.MSHRs = 0
+	if _, err := Run(Config{Spec: bad, Threads: 1, Cores: 1}, singleStream(nil)); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestEmptyStreamsFinish(t *testing.T) {
+	spec := testSpec()
+	res, err := Run(Config{Spec: spec}, []trace.Stream{
+		trace.FromSlice(nil), trace.FromSlice(nil), trace.FromSlice(nil), trace.FromSlice(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted {
+		t.Error("empty run aborted")
+	}
+	if res.TotalCycles != 0 || res.OffChipRequests != 0 {
+		t.Errorf("nonzero counters: %+v", res)
+	}
+}
+
+func TestPureWorkAccounting(t *testing.T) {
+	// 100 refs to one line, 10 work cycles each: one cold off-chip miss,
+	// then 99 L1 hits with zero stall.
+	var refs []trace.Ref
+	for i := 0; i < 100; i++ {
+		refs = append(refs, trace.Ref{Addr: 4096, Kind: trace.Load, Work: 10})
+	}
+	res, err := Run(Config{Spec: testSpec(), Threads: 1, Cores: 1}, singleStream(refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkCycles != 1000 {
+		t.Errorf("work = %d, want 1000", res.WorkCycles)
+	}
+	if res.OffChipRequests != 1 || res.LLCMisses != 1 {
+		t.Errorf("off-chip = %d, llc = %d, want 1", res.OffChipRequests, res.LLCMisses)
+	}
+	if res.Instructions != 100+1000 {
+		t.Errorf("instructions = %d", res.Instructions)
+	}
+	// Stall: cache traversal of the single miss (2+10=12). The miss is
+	// independent (Dep=false) so the MC wait is overlapped, not stalled.
+	if res.MemStallCycles != 0 {
+		t.Errorf("mem stall = %d, want 0 for a single independent miss", res.MemStallCycles)
+	}
+	if res.TotalCycles != res.WorkCycles+res.StallCycles {
+		t.Error("cycle identity violated")
+	}
+}
+
+func TestDependentMissStalls(t *testing.T) {
+	// A dependent cold miss must stall for at least the MC service time.
+	refs := []trace.Ref{{Addr: 1 << 20, Kind: trace.Load, Dep: true, Work: 1}}
+	res, err := Run(Config{Spec: testSpec(), Threads: 1, Cores: 1}, singleStream(refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemStallCycles < 60 {
+		t.Errorf("mem stall = %d, want >= 60 (MC miss service)", res.MemStallCycles)
+	}
+	if res.PerThread[0].OffChip != 1 {
+		t.Errorf("off-chip = %d", res.PerThread[0].OffChip)
+	}
+}
+
+func TestMLPBeatsDependentChain(t *testing.T) {
+	// Equal miss counts; the dependent chain must take far longer than the
+	// independent stream that exploits MSHRs.
+	mkRefs := func(dep bool) []trace.Ref {
+		var refs []trace.Ref
+		for i := 0; i < 200; i++ {
+			// Stride 4096+64 so consecutive requests rotate across the
+			// controller's channels instead of aliasing onto one.
+			refs = append(refs, trace.Ref{Addr: uint64(i) * 4160, Kind: trace.Load, Dep: dep, Work: 1})
+		}
+		return refs
+	}
+	// Plenty of channels so the comparison is latency- vs overlap-bound,
+	// not bandwidth-bound.
+	spec := testSpec()
+	spec.MC.Channels = 4
+	dep, err := Run(Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(mkRefs(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep, err := Run(Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(mkRefs(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.OffChipRequests != indep.OffChipRequests {
+		t.Fatalf("miss counts differ: %d vs %d", dep.OffChipRequests, indep.OffChipRequests)
+	}
+	if indep.TotalCycles*2 > dep.TotalCycles {
+		t.Errorf("independent %d cycles vs dependent %d: MLP should be at least 2x faster",
+			indep.TotalCycles, dep.TotalCycles)
+	}
+}
+
+func TestEveryRefMissesWhenFootprintHuge(t *testing.T) {
+	refs := trace.Collect(trace.StrideSpec{Base: 0, Stride: 4096, Count: 500, Kind: trace.Load, Work: 2}.Stream(), 0)
+	res, err := Run(Config{Spec: testSpec(), Threads: 1, Cores: 1}, singleStream(refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OffChipRequests != 500 {
+		t.Errorf("off-chip = %d, want 500", res.OffChipRequests)
+	}
+	if res.LLCMisses != 500 {
+		t.Errorf("LLC misses = %d, want 500", res.LLCMisses)
+	}
+}
+
+// memBoundStreams builds T streams of dependent loads over disjoint
+// regions, all missing.
+func memBoundStreams(threads, missesEach int) []trace.Stream {
+	var streams []trace.Stream
+	for t := 0; t < threads; t++ {
+		base := uint64(t) << 30
+		streams = append(streams, trace.StrideSpec{
+			Base: base, Stride: 4096, Count: missesEach, Kind: trace.Load, Dep: true, Work: 2,
+		}.Stream())
+	}
+	return streams
+}
+
+func TestContentionGrowsTotalCycles(t *testing.T) {
+	// Same total work, more active cores sharing one socket's MC: queueing
+	// makes total (summed) cycles grow — the paper's core observation.
+	spec := testSpec()
+	run := func(cores int) Result {
+		res, err := Run(Config{Spec: spec, Threads: 2, Cores: cores}, memBoundStreams(2, 400))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	c1 := run(1)
+	c2 := run(2)
+	if c2.TotalCycles <= c1.TotalCycles {
+		t.Errorf("C(2)=%d should exceed C(1)=%d under contention", c2.TotalCycles, c1.TotalCycles)
+	}
+	// Work cycles must be (nearly) independent of core count.
+	if c1.WorkCycles != c2.WorkCycles {
+		t.Errorf("work cycles changed: %d vs %d", c1.WorkCycles, c2.WorkCycles)
+	}
+	// Miss counts must be (nearly) independent of core count.
+	if c1.OffChipRequests != c2.OffChipRequests {
+		t.Errorf("off-chip changed: %d vs %d", c1.OffChipRequests, c2.OffChipRequests)
+	}
+	// But wall-clock should still improve with parallelism.
+	if c2.Makespan >= c1.Makespan {
+		t.Errorf("makespan did not improve: %d vs %d", c2.Makespan, c1.Makespan)
+	}
+}
+
+func TestFirstTouchKeepsAccessesLocal(t *testing.T) {
+	// Threads pinned on socket 0 only; first-touch places pages on MC 0:
+	// zero remote requests.
+	spec := testSpec()
+	res, err := Run(Config{Spec: spec, Threads: 2, Cores: 2}, memBoundStreams(2, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteRequests != 0 {
+		t.Errorf("remote = %d, want 0 for single-socket first-touch", res.RemoteRequests)
+	}
+	if res.MCStats[1].Requests != 0 {
+		t.Errorf("MC1 served %d requests, want 0", res.MCStats[1].Requests)
+	}
+}
+
+func TestInterleaveUsesAllActiveMCs(t *testing.T) {
+	spec := testSpec()
+	res, err := Run(Config{
+		Spec: spec, Threads: 4, Cores: 4, Placement: Interleave,
+	}, memBoundStreams(4, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MCStats[0].Requests == 0 || res.MCStats[1].Requests == 0 {
+		t.Errorf("interleave left an MC idle: %+v", res.MCStats)
+	}
+	if res.RemoteRequests == 0 {
+		t.Error("interleave across sockets should produce remote requests")
+	}
+}
+
+func TestSecondSocketAddsRemoteTraffic(t *testing.T) {
+	// 4 threads on 4 cores (both sockets, first-touch): threads on socket 1
+	// home their pages on MC 1 and everything stays local; verify instead
+	// that socket-1 MC actually serves requests (fill-first activation).
+	spec := testSpec()
+	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 4}, memBoundStreams(4, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MCStats[1].Requests == 0 {
+		t.Error("second socket's MC idle despite active cores")
+	}
+}
+
+func TestOversubscriptionCompletes(t *testing.T) {
+	// 4 threads on 1 core: round-robin multiplexing must finish all threads
+	// and count each thread's misses.
+	spec := testSpec()
+	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 1, Quantum: 500}, memBoundStreams(4, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted {
+		t.Fatal("aborted")
+	}
+	for i, th := range res.PerThread {
+		if th.OffChip != 50 {
+			t.Errorf("thread %d off-chip = %d, want 50", i, th.OffChip)
+		}
+		if th.Finish == 0 {
+			t.Errorf("thread %d has no finish time", i)
+		}
+	}
+}
+
+func TestUMABusPath(t *testing.T) {
+	spec := umaSpec()
+	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 4}, memBoundStreams(4, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BusStats) != 2 {
+		t.Fatalf("bus stats = %d entries", len(res.BusStats))
+	}
+	if res.BusStats[0].Requests == 0 || res.BusStats[1].Requests == 0 {
+		t.Errorf("buses idle: %+v", res.BusStats)
+	}
+	if res.RemoteRequests != 0 {
+		t.Errorf("UMA should have no remote requests, got %d", res.RemoteRequests)
+	}
+	if res.MCStats[0].Requests != res.OffChipRequests {
+		t.Errorf("MC served %d of %d requests", res.MCStats[0].Requests, res.OffChipRequests)
+	}
+}
+
+func TestMaxCyclesAborts(t *testing.T) {
+	spec := testSpec()
+	res, err := Run(Config{Spec: spec, Threads: 1, Cores: 1, MaxCycles: 100},
+		singleStream(trace.Collect(trace.StrideSpec{Stride: 4096, Count: 100000, Dep: true, Work: 1}.Stream(), 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Error("run should abort at MaxCycles")
+	}
+}
+
+func TestMissHookMonotone(t *testing.T) {
+	var times []uint64
+	var cores []int
+	spec := testSpec()
+	_, err := Run(Config{
+		Spec: spec, Threads: 2, Cores: 2,
+		MissHook: func(now uint64, core int) {
+			times = append(times, now)
+			cores = append(cores, core)
+		},
+	}, memBoundStreams(2, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 100 {
+		t.Fatalf("hook fired %d times, want 100", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatal("hook times not monotone")
+		}
+	}
+	seen := map[int]bool{}
+	for _, c := range cores {
+		seen[c] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("hook cores = %v", seen)
+	}
+}
+
+func TestMSHRLimitBlocks(t *testing.T) {
+	// Independent misses beyond the MSHR count must still finish, and with
+	// MSHRs=1 the behavior approaches the dependent chain.
+	spec := testSpec()
+	spec.MSHRs = 1
+	refs := trace.Collect(trace.StrideSpec{Stride: 4096, Count: 100, Kind: trace.Load, Work: 1}.Stream(), 0)
+	res1, err := Run(Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.MSHRs = 8
+	refs = trace.Collect(trace.StrideSpec{Stride: 4096, Count: 100, Kind: trace.Load, Work: 1}.Stream(), 0)
+	res8, err := Run(Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.MemStallCycles <= res8.MemStallCycles {
+		t.Errorf("MSHRs=1 stall %d should exceed MSHRs=8 stall %d",
+			res1.MemStallCycles, res8.MemStallCycles)
+	}
+	if res1.Aborted || res8.Aborted {
+		t.Error("runs aborted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	spec := testSpec()
+	streams := memBoundStreams(spec.TotalCores(), 10)
+	res, err := Run(Config{Spec: spec}, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 4 || res.Cores != 4 {
+		t.Errorf("defaults: threads=%d cores=%d", res.Threads, res.Cores)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if FirstTouch.String() != "first-touch" || Interleave.String() != "interleave" || Placement(7).String() != "unknown" {
+		t.Error("placement strings wrong")
+	}
+}
+
+func TestSMTSiblingSharingSlowsWork(t *testing.T) {
+	// A 1-socket, 4-logical-core machine with SMT=2: logical cores (0,2)
+	// and (1,3) share physical cores. Two compute-bound threads placed on
+	// sibling cores must each accrue ~55% extra cycles as stall.
+	spec := testSpec()
+	spec.Sockets = 1
+	spec.CoresPerSocket = 4
+	spec.MCsPerSocket = 1
+	spec.Links = nil
+	spec.SMT = 2
+
+	workRefs := func(scratch uint64) trace.Stream {
+		var refs []trace.Ref
+		for i := 0; i < 100; i++ {
+			refs = append(refs, trace.Ref{Addr: scratch, Kind: trace.Load, Work: 100})
+		}
+		return trace.FromSlice(refs)
+	}
+
+	// Threads 0 and 2 -> cores 0 and 2 = SMT siblings.
+	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 4}, []trace.Stream{
+		workRefs(0), trace.FromSlice(nil), workRefs(1 << 20), trace.FromSlice(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th0 := res.PerThread[0]
+	slowdown := float64(th0.Cycles()) / float64(th0.Work)
+	if slowdown < 1.4 || slowdown > 1.7 {
+		t.Errorf("SMT slowdown = %.2f, want ~1.55", slowdown)
+	}
+
+	// Same run with the threads on non-sibling cores 0 and 1: no slowdown.
+	res2, err := Run(Config{Spec: spec, Threads: 4, Cores: 4}, []trace.Stream{
+		workRefs(0), workRefs(1 << 20), trace.FromSlice(nil), trace.FromSlice(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th0 = res2.PerThread[0]
+	slowdown = float64(th0.Cycles()) / float64(th0.Work)
+	if slowdown > 1.1 {
+		t.Errorf("non-sibling slowdown = %.2f, want ~1", slowdown)
+	}
+}
+
+func TestSMTSiblingPairing(t *testing.T) {
+	spec := testSpec()
+	spec.SMT = 2 // 2 sockets x 2 logical cores: pairs (0,1) and (2,3)
+	if got := spec.SMTSibling(0); got != 1 {
+		t.Errorf("sibling(0) = %d, want 1", got)
+	}
+	if got := spec.SMTSibling(1); got != 0 {
+		t.Errorf("sibling(1) = %d, want 0", got)
+	}
+	if got := spec.SMTSibling(2); got != 3 {
+		t.Errorf("sibling(2) = %d, want 3", got)
+	}
+	spec.SMT = 1
+	if got := spec.SMTSibling(0); got != -1 {
+		t.Errorf("no-SMT sibling = %d, want -1", got)
+	}
+}
+
+func TestSMTValidation(t *testing.T) {
+	spec := testSpec()
+	spec.SMT = 3
+	if _, err := Run(Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(nil)); err == nil {
+		t.Error("SMT=3 accepted")
+	}
+	spec = testSpec()
+	spec.SMT = 2
+	spec.CoresPerSocket = 3
+	if _, err := Run(Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(nil)); err == nil {
+		t.Error("odd logical core count with SMT accepted")
+	}
+}

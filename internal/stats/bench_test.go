@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkFitLinear(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 1000)
+	y := make([]float64, 1000)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 2*float64(i) + rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitLinear(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCCDF(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float64, 10000)
+	for i := range samples {
+		samples[i] = float64(rng.Intn(1000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CCDF(samples)
+	}
+}
+
+func BenchmarkHurst(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	series := make([]float64, 4096)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Hurst(series); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package trace
+
+import "testing"
+
+func BenchmarkStrideStream(b *testing.B) {
+	b.ReportAllocs()
+	s := StrideSpec{Stride: 64, Count: 1 << 30}.Stream()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			b.Fatal("exhausted")
+		}
+	}
+}
+
+func BenchmarkGenStream(b *testing.B) {
+	s := Gen(func(emit func(Ref) bool) {
+		for i := uint64(0); ; i++ {
+			if !emit(Ref{Addr: i * 64, Work: 1}) {
+				return
+			}
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			b.Fatal("exhausted")
+		}
+	}
+	b.StopTimer()
+	StopAll(s)
+}

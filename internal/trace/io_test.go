@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func roundtrip(t *testing.T, refs []Ref) []Ref {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := Write(&buf, FromSlice(refs))
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if n != len(refs) {
+		t.Fatalf("wrote %d of %d refs", n, len(refs))
+	}
+	s, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	out := Collect(s, 0)
+	if er, ok := s.(ErrorReporter); ok && er.Err() != nil {
+		t.Fatalf("reader error: %v", er.Err())
+	}
+	return out
+}
+
+func TestRoundtripBasic(t *testing.T) {
+	refs := []Ref{
+		{Addr: 4096, Kind: Load, Work: 3},
+		{Addr: 4160, Kind: Store, Dep: true, Work: 0},
+		{Addr: 64, Kind: Load, Work: 1 << 20}, // backwards delta, big work
+		{Sync: true, Work: 20},
+		{Addr: 1 << 40, Kind: Load},
+	}
+	got := roundtrip(t, refs)
+	if len(got) != len(refs) {
+		t.Fatalf("got %d refs", len(got))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Errorf("ref %d = %+v, want %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestRoundtripEmpty(t *testing.T) {
+	got := roundtrip(t, nil)
+	if len(got) != 0 {
+		t.Errorf("empty trace decoded %d refs", len(got))
+	}
+}
+
+func TestSequentialTraceIsCompact(t *testing.T) {
+	// Sequential 64-byte strides must cost ~3 bytes per reference.
+	refs := Collect(StrideSpec{Stride: 64, Count: 10000, Work: 2}.Stream(), 0)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, FromSlice(refs)); err != nil {
+		t.Fatal(err)
+	}
+	perRef := float64(buf.Len()-8) / float64(len(refs))
+	if perRef > 4 {
+		t.Errorf("encoding = %.1f bytes/ref, want <= 4", perRef)
+	}
+}
+
+func TestNewReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{'R', 'M', 'T', 'R', 99, 0, 0, 0})); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestTruncatedTraceReportsError(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, FromSlice([]Ref{{Addr: 1 << 33, Work: 7}})); err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record (flags byte survives, varint truncated).
+	data := buf.Bytes()[:buf.Len()-2]
+	s, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("truncated record decoded")
+	}
+	if er := s.(ErrorReporter); er.Err() == nil {
+		t.Error("truncation not reported")
+	}
+}
+
+// Property: any reference sequence survives a roundtrip bit-exactly.
+func TestRoundtripProperty(t *testing.T) {
+	f := func(raw []uint32, kinds []bool, works []uint16) bool {
+		var refs []Ref
+		for i, a := range raw {
+			r := Ref{Addr: uint64(a) * 7}
+			if i < len(kinds) && kinds[i] {
+				r.Kind = Store
+				r.Dep = true
+			}
+			if i < len(works) {
+				r.Work = uint32(works[i])
+			}
+			refs = append(refs, r)
+		}
+		var buf bytes.Buffer
+		if _, err := Write(&buf, FromSlice(refs)); err != nil {
+			return false
+		}
+		s, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got := Collect(s, 0)
+		if len(got) != len(refs) {
+			return false
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A recorded workload trace must replay identically.
+func TestWorkloadTraceReplay(t *testing.T) {
+	sp := StrideSpec{Base: 1 << 30, Stride: 192, Count: 5000, Kind: Store, Work: 9}
+	var buf bytes.Buffer
+	if _, err := Write(&buf, sp.Stream()); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := sp.Stream()
+	for i := 0; ; i++ {
+		a, okA := orig.Next()
+		b, okB := replayed.Next()
+		if okA != okB {
+			t.Fatalf("length mismatch at %d", i)
+		}
+		if !okA {
+			break
+		}
+		if a != b {
+			t.Fatalf("ref %d: %+v vs %+v", i, a, b)
+		}
+	}
+}

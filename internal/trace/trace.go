@@ -1,0 +1,342 @@
+// Package trace defines memory-reference streams: the interface between the
+// workload kernels (which emit per-thread sequences of computation and
+// memory accesses) and the multicore simulator (which executes them against
+// a cache hierarchy and memory controllers).
+//
+// A reference models one memory instruction together with the computation
+// that precedes it: "execute Work cycles, then issue a Load/Store at Addr".
+// The Dep flag distinguishes dependent loads (the core cannot retire past
+// them until the data returns — e.g. a pointer chase or an indexed gather)
+// from independent accesses that can overlap with further execution while an
+// MSHR is available (streaming reads, stores drained through a write
+// buffer). The mix of dependent and independent references is what gives a
+// workload its memory-level parallelism, and in turn the super-linear growth
+// of contention the paper measures.
+package trace
+
+// Kind distinguishes loads from stores.
+type Kind uint8
+
+const (
+	// Load is a read access.
+	Load Kind = iota
+	// Store is a write access.
+	Store
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return "unknown"
+	}
+}
+
+// Ref is one memory reference preceded by Work cycles of computation, or —
+// when Sync is set — a barrier rendezvous point.
+type Ref struct {
+	// Addr is the byte address accessed (ignored for Sync refs).
+	Addr uint64
+	// Kind is Load or Store.
+	Kind Kind
+	// Dep marks a dependent access: the issuing core stalls until the data
+	// returns before executing anything further.
+	Dep bool
+	// Sync marks a barrier: after retiring Work cycles, the thread blocks
+	// until every thread of the program has reached the same barrier
+	// ordinal. No memory access is performed. Threads that finish their
+	// stream count as having arrived at all remaining barriers.
+	Sync bool
+	// Work is the number of computation cycles the core retires before
+	// issuing this reference (for Sync, before arriving at the barrier).
+	Work uint32
+}
+
+// Stream produces a sequence of references. Next returns the next reference
+// and true, or a zero Ref and false when the stream is exhausted. Streams
+// are single-consumer and not safe for concurrent use.
+type Stream interface {
+	Next() (Ref, bool)
+}
+
+// Maker constructs a fresh Stream positioned at its beginning. Workload
+// phases are expressed as Makers so they can be repeated and concatenated.
+type Maker func() Stream
+
+// sliceStream iterates over a materialized reference slice.
+type sliceStream struct {
+	refs []Ref
+	pos  int
+}
+
+// FromSlice returns a Stream over a materialized slice of references. The
+// slice is not copied; the caller must not mutate it while streaming.
+func FromSlice(refs []Ref) Stream {
+	return &sliceStream{refs: refs}
+}
+
+func (s *sliceStream) Next() (Ref, bool) {
+	if s.pos >= len(s.refs) {
+		return Ref{}, false
+	}
+	r := s.refs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Collect drains a stream into a slice, up to max references (max <= 0
+// means unbounded). Intended for tests and small inspection tasks, not for
+// full workload traces.
+func Collect(s Stream, max int) []Ref {
+	var out []Ref
+	for {
+		if max > 0 && len(out) >= max {
+			return out
+		}
+		r, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// Count drains a stream and returns the number of references it produced.
+func Count(s Stream) int {
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// concatStream chains sub-streams end to end.
+type concatStream struct {
+	makers []Maker
+	cur    Stream
+	idx    int
+}
+
+// Concat returns a Stream that plays each maker's stream in order.
+func Concat(makers ...Maker) Stream {
+	return &concatStream{makers: makers}
+}
+
+func (c *concatStream) Next() (Ref, bool) {
+	for {
+		if c.cur == nil {
+			if c.idx >= len(c.makers) {
+				return Ref{}, false
+			}
+			c.cur = c.makers[c.idx]()
+			c.idx++
+		}
+		if r, ok := c.cur.Next(); ok {
+			return r, true
+		}
+		c.cur = nil
+	}
+}
+
+// Repeat returns a Stream that plays maker's stream n times in sequence.
+func Repeat(n int, maker Maker) Stream {
+	return &repeatStream{n: n, maker: maker}
+}
+
+type repeatStream struct {
+	maker Maker
+	cur   Stream
+	n     int
+	done  int
+}
+
+func (r *repeatStream) Next() (Ref, bool) {
+	for {
+		if r.cur == nil {
+			if r.done >= r.n {
+				return Ref{}, false
+			}
+			r.cur = r.maker()
+			r.done++
+		}
+		if ref, ok := r.cur.Next(); ok {
+			return ref, true
+		}
+		r.cur = nil
+	}
+}
+
+// Limit returns a Stream that truncates s after max references.
+func Limit(s Stream, max int) Stream {
+	return &limitStream{s: s, left: max}
+}
+
+type limitStream struct {
+	s    Stream
+	left int
+}
+
+func (l *limitStream) Next() (Ref, bool) {
+	if l.left <= 0 {
+		return Ref{}, false
+	}
+	r, ok := l.s.Next()
+	if !ok {
+		return Ref{}, false
+	}
+	l.left--
+	return r, true
+}
+
+// Interleave round-robins references from several streams until all are
+// exhausted, modeling a thread alternating between data structures.
+func Interleave(streams ...Stream) Stream {
+	return &interleaveStream{streams: streams}
+}
+
+type interleaveStream struct {
+	streams []Stream
+	next    int
+}
+
+func (it *interleaveStream) Next() (Ref, bool) {
+	for tries := 0; tries < len(it.streams); tries++ {
+		i := it.next
+		it.next = (it.next + 1) % len(it.streams)
+		if it.streams[i] == nil {
+			continue
+		}
+		if r, ok := it.streams[i].Next(); ok {
+			return r, true
+		}
+		it.streams[i] = nil
+	}
+	return Ref{}, false
+}
+
+// counting wraps a stream and counts the references it yields.
+type counting struct {
+	s Stream
+	n *int64
+}
+
+// Counting wraps s so that every yielded reference increments *n.
+func Counting(s Stream, n *int64) Stream {
+	return &counting{s: s, n: n}
+}
+
+func (c *counting) Next() (Ref, bool) {
+	r, ok := c.s.Next()
+	if ok {
+		*c.n++
+	}
+	return r, ok
+}
+
+// Gen adapts a push-style generator function into a pull-style Stream using
+// a bounded buffer refilled on demand. The generator is invoked lazily in
+// chunks: gen receives an emit callback and must return when emit reports
+// false. This supports kernels whose access patterns are easiest to express
+// as straight-line code (e.g. nested loops over a grid).
+func Gen(gen func(emit func(Ref) bool)) Stream {
+	g := &genStream{
+		ch:   make(chan []Ref, 4),
+		stop: make(chan struct{}),
+	}
+	go func() {
+		defer close(g.ch)
+		buf := make([]Ref, 0, genChunk)
+		flush := func() bool {
+			if len(buf) == 0 {
+				return true
+			}
+			chunk := make([]Ref, len(buf))
+			copy(chunk, buf)
+			buf = buf[:0]
+			select {
+			case g.ch <- chunk:
+				return true
+			case <-g.stop:
+				return false
+			}
+		}
+		gen(func(r Ref) bool {
+			buf = append(buf, r)
+			if len(buf) == genChunk {
+				return flush()
+			}
+			select {
+			case <-g.stop:
+				return false
+			default:
+				return true
+			}
+		})
+		flush()
+	}()
+	return g
+}
+
+const genChunk = 4096
+
+type genStream struct {
+	ch    chan []Ref
+	stop  chan struct{}
+	chunk []Ref
+	pos   int
+	done  bool
+}
+
+func (g *genStream) Next() (Ref, bool) {
+	for {
+		if g.pos < len(g.chunk) {
+			r := g.chunk[g.pos]
+			g.pos++
+			return r, true
+		}
+		if g.done {
+			return Ref{}, false
+		}
+		chunk, ok := <-g.ch
+		if !ok {
+			g.done = true
+			return Ref{}, false
+		}
+		g.chunk, g.pos = chunk, 0
+	}
+}
+
+// Stop terminates the backing generator goroutine of a Gen stream early.
+// It is safe to call multiple times and on fully drained streams.
+func (g *genStream) Stop() {
+	select {
+	case <-g.stop:
+	default:
+		close(g.stop)
+	}
+	// Drain so the producer is never blocked on send.
+	for range g.ch {
+	}
+	g.done = true
+	g.chunk = nil
+}
+
+// Stopper is implemented by streams holding background resources.
+type Stopper interface {
+	Stop()
+}
+
+// StopAll stops every stream that implements Stopper.
+func StopAll(streams ...Stream) {
+	for _, s := range streams {
+		if st, ok := s.(Stopper); ok {
+			st.Stop()
+		}
+	}
+}

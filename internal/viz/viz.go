@@ -1,0 +1,160 @@
+// Package viz renders small ASCII charts for terminal output: the ω(n)
+// curves of Fig. 5/6 and the log-log burst CCDFs of Fig. 4 become readable
+// directly in the shell, without a plotting toolchain.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	Marker rune
+}
+
+// Chart is a fixed-size character-grid plot.
+type Chart struct {
+	// Width and Height are the plot area dimensions in characters
+	// (excluding axes); defaults 60x16.
+	Width, Height int
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// LogX plots x on a log10 scale (for CCDFs).
+	LogX bool
+	// LogY plots y on a log10 scale.
+	LogY   bool
+	series []Series
+}
+
+// Add appends a series; markers default to a rotation of distinct runes.
+func (c *Chart) Add(s Series) {
+	if s.Marker == 0 {
+		markers := []rune{'*', 'o', '+', 'x', '#', '@'}
+		s.Marker = markers[len(c.series)%len(markers)]
+	}
+	c.series = append(c.series, s)
+}
+
+// transform maps a value onto the axis scale, dropping non-plottable
+// points (log of non-positive values).
+func transform(v float64, log bool) (float64, bool) {
+	if log {
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+	return v, true
+}
+
+// Render draws the chart to w.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	// Bounds over all plottable points.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.series {
+		for i := range s.X {
+			x, okx := transform(s.X[i], c.LogX)
+			y, oky := transform(s.Y[i], c.LogY)
+			if !okx || !oky {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if !any {
+		fmt.Fprintln(w, "(no plottable points)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			x, okx := transform(s.X[i], c.LogX)
+			y, oky := transform(s.Y[i], c.LogY)
+			if !okx || !oky {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			if grid[row][col] == ' ' || grid[row][col] == s.Marker {
+				grid[row][col] = s.Marker
+			} else {
+				grid[row][col] = '&' // overlap
+			}
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	yTop := axisLabel(maxY, c.LogY)
+	yBot := axisLabel(minY, c.LogY)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", labelW, yTop)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", labelW, yBot)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	xLeft := axisLabel(minX, c.LogX)
+	xRight := axisLabel(maxX, c.LogX)
+	gap := width - len(xLeft) - len(xRight)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(w, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xLeft, strings.Repeat(" ", gap), xRight)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "%s  x: %s, y: %s\n", strings.Repeat(" ", labelW), c.XLabel, c.YLabel)
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(w, "%s  %c %s\n", strings.Repeat(" ", labelW), s.Marker, s.Name)
+	}
+}
+
+// axisLabel formats an axis bound, undoing the log transform for display.
+func axisLabel(v float64, log bool) string {
+	if log {
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}

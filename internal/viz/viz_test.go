@@ -1,0 +1,98 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	var c Chart
+	c.Title = "omega vs cores"
+	c.XLabel = "cores"
+	c.YLabel = "omega"
+	c.Add(Series{Name: "measured", X: []float64{1, 2, 4, 8}, Y: []float64{0, 0.3, 1.0, 2.8}})
+	c.Add(Series{Name: "model", X: []float64{1, 2, 4, 8}, Y: []float64{0, 0.2, 1.0, 2.2}})
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"omega vs cores", "measured", "model", "*", "o", "2.8", "cores"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The grid must have the requested default dimensions.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 16 rows + axis + xlabels + xylabel + 2 legend = 22
+	if len(lines) != 22 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderLogChart(t *testing.T) {
+	var c Chart
+	c.LogX = true
+	c.LogY = true
+	c.Add(Series{Name: "ccdf", X: []float64{1, 10, 100, 1000}, Y: []float64{1, 0.1, 0.01, 0.001}})
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "1e+03") && !strings.Contains(out, "1000") {
+		t.Errorf("x max label missing:\n%s", out)
+	}
+	// A perfect power law renders as a diagonal: the marker must appear on
+	// several distinct rows.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "*") && strings.Contains(line, "|") {
+			rows++
+		}
+	}
+	if rows < 3 {
+		t.Errorf("power law occupies %d rows, want diagonal:\n%s", rows, out)
+	}
+}
+
+func TestRenderDropsNonPositiveOnLog(t *testing.T) {
+	var c Chart
+	c.LogY = true
+	c.Add(Series{Name: "s", X: []float64{1, 2}, Y: []float64{0, 10}}) // zero dropped
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "|") {
+		t.Error("chart missing")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var c Chart
+	c.LogY = true
+	c.Add(Series{Name: "s", X: []float64{1}, Y: []float64{0}}) // nothing plottable
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "no plottable points") {
+		t.Errorf("empty chart output: %q", buf.String())
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	var c Chart
+	c.Add(Series{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}})
+	var buf bytes.Buffer
+	c.Render(&buf) // must not divide by zero
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("flat series not drawn")
+	}
+}
+
+func TestOverlapMarker(t *testing.T) {
+	var c Chart
+	c.Width, c.Height = 10, 5
+	c.Add(Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}})
+	c.Add(Series{Name: "b", X: []float64{0, 1}, Y: []float64{0, 1}})
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "&") {
+		t.Errorf("overlapping points should render '&':\n%s", buf.String())
+	}
+}
