@@ -1,0 +1,35 @@
+# Tier-1 gate: everything a PR must keep green. `make check` is what CI
+# and reviewers run; docs/ARCHITECTURE.md documents it as the gate.
+
+GO ?= go
+
+.PHONY: check build vet test race bench artifacts-fast clean
+
+## check: the tier-1 gate — vet, build, race-enabled tests.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+## test: plain test run (no race detector), faster on small machines.
+test:
+	$(GO) test ./...
+
+## race: full test suite under the race detector (the Runner is concurrent).
+race:
+	$(GO) test -race ./...
+
+## bench: the per-artifact benchmarks plus the runner scaling benchmark.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+## artifacts-fast: CI-grade regeneration of every paper artifact — quarter
+## -scale workloads, parallel runs. See EXPERIMENTS.md "fast path".
+artifacts-fast:
+	$(GO) run ./cmd/experiments -run all -scale 0.25 -step 4 -jobs 0 -v
+
+clean:
+	$(GO) clean ./...

@@ -32,6 +32,7 @@ func main() {
 		validate    = flag.Bool("validate", false, "also measure a full sweep and report model error")
 		step        = flag.Int("step", 2, "core-count step for the validation sweep")
 		homogeneous = flag.Bool("homogeneous", false, "fit with the reduced homogeneous-interconnect plan")
+		jobs        = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		verbose     = flag.Bool("v", false, "log each simulation run")
 		plot        = flag.Bool("plot", false, "render an ASCII chart of the curves")
 	)
@@ -42,6 +43,7 @@ func main() {
 		fatal(err)
 	}
 	r := experiments.NewRunner(workload.Tuning{RefScale: *scale})
+	r.Jobs = *jobs
 	if *verbose {
 		r.Progress = os.Stderr
 	}

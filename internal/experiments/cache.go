@@ -13,6 +13,14 @@ import (
 // SaveCache/LoadCache let cmd/experiments carry the cache across
 // invocations so iterating on one artifact never re-simulates another's
 // runs.
+//
+// Both methods are safe to call concurrently with running experiments:
+// they lock the cache map only, not the worker pool. SaveCache snapshots
+// completed runs — simulations still in flight at save time are simply
+// not persisted (call it after the batch APIs return for a full
+// snapshot). Because results are deterministic for a given cache version,
+// merging a loaded cache can never change what an experiment reports,
+// only skip work.
 
 // cacheEntry is the serialized form of one run.
 type cacheEntry struct {

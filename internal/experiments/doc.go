@@ -1,0 +1,49 @@
+// Package experiments regenerates the paper's evaluation artifacts — Table
+// II, Fig. 3, Table III, Fig. 4, Fig. 5, Fig. 6 and Table IV — by running
+// the workloads (internal/workload) on the simulated machines
+// (internal/machine + internal/sim), fitting the analytical model
+// (internal/core) from the paper's measurement plans, and rendering the
+// same rows and series the paper reports.
+//
+// # Runner concurrency contract
+//
+// Runner is the package's execution engine, and it is safe for concurrent
+// use by any number of goroutines. Its guarantees:
+//
+//   - Thread safety: every exported method may be called concurrently.
+//     The result cache, the in-flight run table and the progress counters
+//     are guarded independently, so cache hits never wait behind running
+//     simulations.
+//
+//   - Deduplication (singleflight): a run is identified by its key
+//     (machine, program, class, cores, scale). Concurrent requests for the
+//     same not-yet-cached key block on one underlying simulation; exactly
+//     one sim.Run executes per key for the lifetime of the Runner, no
+//     matter how many goroutines race on it. This also closes the classic
+//     check-unlock-simulate-relock window in which two goroutines that
+//     both miss the cache would each simulate.
+//
+//   - Bounded parallelism: at most Jobs simulations (default
+//     runtime.GOMAXPROCS(0)) execute at any moment. Excess submissions
+//     queue on a semaphore; waiters on an in-flight duplicate do not hold
+//     worker slots, so dedup never deadlocks the pool.
+//
+//   - Determinism: sim.Run is a pure function of its configuration, so a
+//     Runner returns bit-identical sim.Result values regardless of Jobs,
+//     submission order, or interleaving. Batch APIs (RunAll, Sweep,
+//     SweepAsync) return results in plan order, and on error report the
+//     first failure in plan order — never a races-dependent one.
+//
+//   - Progress: the Progress writer receives one line per executed
+//     simulation with a completed/submitted counter and per-run timing.
+//     Writes are serialized by the Runner, so an os.File or bytes.Buffer
+//     is fine as-is.
+//
+// Each table/figure driver builds its whole measurement plan up front and
+// submits it through RunAll/SweepAsync, so independent runs overlap up to
+// the Jobs bound while shared runs (e.g. the CG.C sweep feeding Fig. 3,
+// Fig. 5 and Table IV) execute once. Sampled or variant-machine runs that
+// cannot be cached (Fig. 4's miss hook, the sensitivity study's mutated
+// specs) go through RunConfig, which bypasses the cache but still respects
+// the worker-pool bound.
+package experiments

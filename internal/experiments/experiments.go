@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/burst"
 	"repro/internal/core"
@@ -37,33 +38,47 @@ var tableIIPrograms = []string{"EP", "IS", "FT", "CG", "SP"}
 
 // TableII measures the normalized cycle increase ω(n) = (C(n)-C(1))/C(1)
 // for the five dwarfs at small (W) and large (C) sizes, with n at half and
-// all cores of each machine.
+// all cores of each machine. The whole machine×size×program×cores matrix
+// is one measurement plan, submitted at once and executed with up to Jobs
+// concurrent simulations.
 func (r *Runner) TableII(specs []machine.Spec) (TableIIData, error) {
-	var data TableIIData
+	// cellAt maps each output cell to its run and 1-core baseline in the
+	// plan, so results assemble in the paper's row order regardless of
+	// execution interleaving.
+	type cellAt struct {
+		cell          TableIICell
+		baseIdx, runIdx int
+	}
+	var plan []RunItem
+	var cells []cellAt
 	for _, spec := range specs {
 		half := spec.TotalCores() / 2
 		all := spec.TotalCores()
 		for _, size := range []workload.Class{workload.W, workload.C} {
 			for _, prog := range tableIIPrograms {
-				base, err := r.Run(spec, prog, size, 1)
-				if err != nil {
-					return TableIIData{}, err
-				}
+				baseIdx := len(plan)
+				plan = append(plan, RunItem{Spec: spec, Program: prog, Class: size, Cores: 1})
 				for _, n := range []int{half, all} {
-					res, err := r.Run(spec, prog, size, n)
-					if err != nil {
-						return TableIIData{}, err
-					}
-					data.Cells = append(data.Cells, TableIICell{
-						Machine: spec.Name,
-						Program: prog,
-						Size:    size,
-						Cores:   n,
-						Omega:   core.Omega(float64(res.TotalCycles), float64(base.TotalCycles)),
+					cells = append(cells, cellAt{
+						cell:    TableIICell{Machine: spec.Name, Program: prog, Size: size, Cores: n},
+						baseIdx: baseIdx,
+						runIdx:  len(plan),
 					})
+					plan = append(plan, RunItem{Spec: spec, Program: prog, Class: size, Cores: n})
 				}
 			}
 		}
+	}
+	results, err := r.RunAll(plan)
+	if err != nil {
+		return TableIIData{}, err
+	}
+	var data TableIIData
+	for _, c := range cells {
+		c.cell.Omega = core.Omega(
+			float64(results[c.runIdx].TotalCycles),
+			float64(results[c.baseIdx].TotalCycles))
+		data.Cells = append(data.Cells, c.cell)
 	}
 	return data, nil
 }
@@ -92,14 +107,19 @@ type Fig3Data struct {
 	Misses  []float64
 }
 
-// Fig3 sweeps CG.C over the given core counts on one machine.
+// Fig3 sweeps CG.C over the given core counts on one machine, submitting
+// the sweep as one concurrent plan.
 func (r *Runner) Fig3(spec machine.Spec, coreCounts []int) (Fig3Data, error) {
+	plan := make([]RunItem, len(coreCounts))
+	for i, n := range coreCounts {
+		plan[i] = RunItem{Spec: spec, Program: "CG", Class: workload.C, Cores: n}
+	}
+	results, err := r.RunAll(plan)
+	if err != nil {
+		return Fig3Data{}, err
+	}
 	d := Fig3Data{Machine: spec.Name, Cores: coreCounts}
-	for _, n := range coreCounts {
-		res, err := r.Run(spec, "CG", workload.C, n)
-		if err != nil {
-			return Fig3Data{}, err
-		}
+	for _, res := range results {
 		d.Total = append(d.Total, float64(res.TotalCycles))
 		d.Stall = append(d.Stall, float64(res.StallCycles))
 		d.Work = append(d.Work, float64(res.WorkCycles))
@@ -158,7 +178,10 @@ type Fig4Series struct {
 
 // Fig4 runs each program+class with the 5 µs LLC-miss sampler attached and
 // analyzes burst sizes. The paper uses 24 threads on 24 cores of the Intel
-// NUMA machine.
+// NUMA machine. Sampled runs are not cacheable (the miss hook is not part
+// of the cache key), but the nine subjects still execute concurrently
+// under the worker-pool bound and the series come back in the paper's
+// order.
 func (r *Runner) Fig4(spec machine.Spec) ([]Fig4Series, error) {
 	subjects := []struct {
 		program string
@@ -167,40 +190,72 @@ func (r *Runner) Fig4(spec machine.Spec) ([]Fig4Series, error) {
 		{"CG", []workload.Class{workload.S, workload.W, workload.A, workload.B, workload.C}},
 		{"x264", []workload.Class{workload.SimSmall, workload.SimMedium, workload.SimLarge, workload.Native}},
 	}
-	var series []Fig4Series
+	type subject struct {
+		program string
+		class   workload.Class
+	}
+	var order []subject
 	for _, subj := range subjects {
 		for _, class := range subj.classes {
-			s, err := r.runSampled(spec, subj.program, class)
-			if err != nil {
-				return nil, err
-			}
-			a, err := burst.Analyze(s.Windows())
-			if err == burst.ErrNoTraffic {
-				// Fully cached run: report an empty bursty profile.
-				series = append(series, Fig4Series{Program: subj.program, Class: class, Verdict: burst.Bursty})
-				continue
-			}
-			if err != nil {
-				return nil, err
-			}
-			series = append(series, Fig4Series{
-				Program:  subj.program,
-				Class:    class,
-				Analysis: a,
-				Verdict:  a.Classify(),
-			})
+			order = append(order, subject{subj.program, class})
 		}
+	}
+	series := make([]Fig4Series, len(order))
+	err := parallelEach(len(order), func(i int) error {
+		subj := order[i]
+		s, err := r.runSampled(spec, subj.program, subj.class)
+		if err != nil {
+			return err
+		}
+		a, err := burst.Analyze(s.Windows())
+		if err == burst.ErrNoTraffic {
+			// Fully cached run: report an empty bursty profile.
+			series[i] = Fig4Series{Program: subj.program, Class: subj.class, Verdict: burst.Bursty}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		series[i] = Fig4Series{
+			Program:  subj.program,
+			Class:    subj.class,
+			Analysis: a,
+			Verdict:  a.Classify(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return series, nil
 }
 
-// runSampled executes one run with the paper's 5 µs sampler attached.
-// Sampled runs are not cached (the hook is not part of the cache key).
-func (r *Runner) runSampled(spec machine.Spec, program string, class workload.Class) (*sampler.Sampler, error) {
-	wl, err := workload.NewTuned(program, class, r.Tuning)
-	if err != nil {
-		return nil, err
+// parallelEach runs fn(0..n-1) concurrently and returns the first error in
+// index order after all calls settle. The worker-pool bound applies inside
+// fn's simulations, not here, so waiters cost nothing.
+func parallelEach(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
 	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSampled executes one run with the paper's 5 µs sampler attached.
+// Sampled runs are not cached (the hook is not part of the cache key) but
+// still count against the worker-pool bound via RunConfig.
+func (r *Runner) runSampled(spec machine.Spec, program string, class workload.Class) (*sampler.Sampler, error) {
 	// The paper samples every 5 µs of real-machine time. Our machines and
 	// problem classes are scaled down by machine.CacheScale, which
 	// compresses phase durations by roughly the same factor, so the
@@ -211,12 +266,12 @@ func (r *Runner) runSampled(spec machine.Spec, program string, class workload.Cl
 		return nil, err
 	}
 	threads := spec.TotalCores()
-	res, err := sim.Run(sim.Config{
+	res, err := r.RunConfig(sim.Config{
 		Spec:     spec,
 		Threads:  threads,
 		Cores:    threads,
 		MissHook: s.Hook(),
-	}, wl.Streams(threads))
+	}, program, class)
 	if err != nil {
 		return nil, err
 	}
@@ -241,13 +296,23 @@ type ModelFig struct {
 }
 
 // ModelVsMeasurement fits the model from the paper's input plan and
-// validates it against a measured sweep.
+// validates it against a measured sweep. The fit-plan runs and the
+// validation sweep are submitted together, so they overlap (and share
+// their common core counts) instead of executing back to back.
 func (r *Runner) ModelVsMeasurement(spec machine.Spec, program string, class workload.Class, coreCounts []int, opts core.Options) (ModelFig, error) {
-	model, plan, err := r.FitFromPlan(spec, program, class, opts)
+	kind := ModelKindFor(spec)
+	plan := core.PaperInputs(kind, spec.Sockets, spec.CoresPerSocket)
+	fitWait := r.SweepAsync(spec, program, class, plan)
+	sweepWait := r.SweepAsync(spec, program, class, coreCounts)
+	fitMeas, err := fitWait()
 	if err != nil {
 		return ModelFig{}, err
 	}
-	sweep, err := r.Sweep(spec, program, class, coreCounts)
+	model, err := core.Fit(kind, spec.Sockets, spec.CoresPerSocket, fitMeas, opts)
+	if err != nil {
+		return ModelFig{}, err
+	}
+	sweep, err := sweepWait()
 	if err != nil {
 		return ModelFig{}, err
 	}
@@ -301,9 +366,14 @@ var tableIVSubjects = []struct {
 }
 
 // TableIV computes the 1/C(n) linearity R² over n = 1..4 on UMA machines
-// and n = 1..12 on NUMA machines, as in the paper.
+// and n = 1..12 on NUMA machines, as in the paper. All machine×program
+// sweeps are submitted up front and collected in table order.
 func (r *Runner) TableIV(specs []machine.Spec) ([]TableIVCell, error) {
-	var cells []TableIVCell
+	type pending struct {
+		cell TableIVCell
+		wait func() ([]core.Measurement, error)
+	}
+	var waits []pending
 	for _, spec := range specs {
 		upTo := 12
 		if spec.UMA() {
@@ -317,21 +387,24 @@ func (r *Runner) TableIV(specs []machine.Spec) ([]TableIVCell, error) {
 			counts = append(counts, n)
 		}
 		for _, subj := range tableIVSubjects {
-			meas, err := r.Sweep(spec, subj.Program, subj.Class, counts)
-			if err != nil {
-				return nil, err
-			}
-			r2, err := core.LinearityR2(meas)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, TableIVCell{
-				Machine: spec.Name,
-				Program: subj.Program,
-				Class:   subj.Class,
-				R2:      r2,
+			waits = append(waits, pending{
+				cell: TableIVCell{Machine: spec.Name, Program: subj.Program, Class: subj.Class},
+				wait: r.SweepAsync(spec, subj.Program, subj.Class, counts),
 			})
 		}
+	}
+	var cells []TableIVCell
+	for _, p := range waits {
+		meas, err := p.wait()
+		if err != nil {
+			return nil, err
+		}
+		r2, err := core.LinearityR2(meas)
+		if err != nil {
+			return nil, err
+		}
+		p.cell.R2 = r2
+		cells = append(cells, p.cell)
 	}
 	return cells, nil
 }
@@ -394,11 +467,7 @@ func (r *Runner) AblationController(spec machine.Spec) (AblationControllerResult
 		s.MC.Discipline = disc
 		threads := s.TotalCores()
 		for _, cores := range []int{1, threads} {
-			wl, werr := workload.NewTuned("CG", workload.C, r.Tuning)
-			if werr != nil {
-				return base, full, werr
-			}
-			res, rerr := sim.Run(sim.Config{Spec: s, Threads: threads, Cores: cores}, wl.Streams(threads))
+			res, rerr := r.RunConfig(sim.Config{Spec: s, Threads: threads, Cores: cores}, "CG", workload.C)
 			if rerr != nil {
 				return base, full, rerr
 			}

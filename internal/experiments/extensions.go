@@ -27,27 +27,30 @@ type OversubPoint struct {
 }
 
 // Oversubscription runs program.class on all cores of the machine with
-// thread counts of 1x, 2x and 4x the cores.
+// thread counts of 1x, 2x and 4x the cores. The three factors execute
+// concurrently (thread count is not part of the run cache key, so these
+// go through the uncached RunConfig path).
 func (r *Runner) Oversubscription(spec machine.Spec, program string, class workload.Class) ([]OversubPoint, error) {
 	cores := spec.TotalCores()
-	var points []OversubPoint
-	for _, factor := range []int{1, 2, 4} {
-		threads := cores * factor
-		wl, err := workload.NewTuned(program, class, r.Tuning)
+	factors := []int{1, 2, 4}
+	points := make([]OversubPoint, len(factors))
+	err := parallelEach(len(factors), func(i int) error {
+		threads := cores * factors[i]
+		res, err := r.RunConfig(sim.Config{Spec: spec, Threads: threads, Cores: cores}, program, class)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := sim.Run(sim.Config{Spec: spec, Threads: threads, Cores: cores}, wl.Streams(threads))
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, OversubPoint{
+		points[i] = OversubPoint{
 			Threads:     threads,
-			Factor:      float64(factor),
+			Factor:      float64(factors[i]),
 			TotalCycles: res.TotalCycles,
 			SyncStall:   res.SyncStallCycles,
 			Makespan:    res.Makespan,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }
@@ -93,35 +96,45 @@ func (r *Runner) Sensitivity(spec machine.Spec, program string, class workload.C
 			s.Levels[len(s.Levels)-1].NextLinePrefetch = true
 		}},
 	}
-	var points []SensitivityPoint
-	for _, v := range variants {
+	points := make([]SensitivityPoint, len(variants))
+	err := parallelEach(len(variants), func(i int) error {
 		s := spec
-		v.mutate(&s)
+		variants[i].mutate(&s)
 		omega, err := r.omegaFullMachine(s, program, class)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		points = append(points, SensitivityPoint{Label: v.label, Omega: omega})
+		points[i] = SensitivityPoint{Label: variants[i].label, Omega: omega}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }
 
 // omegaFullMachine measures ω(totalCores) directly (bypassing the cache:
-// variant machines share a name with the baseline).
+// variant machines share a name with the baseline). The base and full runs
+// execute concurrently under the worker-pool bound.
 func (r *Runner) omegaFullMachine(spec machine.Spec, program string, class workload.Class) (float64, error) {
 	threads := spec.TotalCores()
-	run := func(cores int) (sim.Result, error) {
-		wl, err := workload.NewTuned(program, class, r.Tuning)
-		if err != nil {
-			return sim.Result{}, err
+	var base, full sim.Result
+	err := parallelEach(2, func(i int) error {
+		cores := 1
+		if i == 1 {
+			cores = threads
 		}
-		return sim.Run(sim.Config{Spec: spec, Threads: threads, Cores: cores}, wl.Streams(threads))
-	}
-	base, err := run(1)
-	if err != nil {
-		return 0, err
-	}
-	full, err := run(threads)
+		res, err := r.RunConfig(sim.Config{Spec: spec, Threads: threads, Cores: cores}, program, class)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			base = res
+		} else {
+			full = res
+		}
+		return nil
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -157,11 +170,12 @@ type SpeedupData struct {
 // SpeedupStudy fits the contention model from the paper's input plan and
 // compares predicted speedups n/(1+ω(n)) against the measured sweep.
 func (r *Runner) SpeedupStudy(spec machine.Spec, program string, class workload.Class, coreCounts []int) (SpeedupData, error) {
+	sweepWait := r.SweepAsync(spec, program, class, coreCounts)
 	model, _, err := r.FitFromPlan(spec, program, class, core.Options{})
 	if err != nil {
 		return SpeedupData{}, err
 	}
-	sweep, err := r.Sweep(spec, program, class, coreCounts)
+	sweep, err := sweepWait()
 	if err != nil {
 		return SpeedupData{}, err
 	}
@@ -215,6 +229,7 @@ type WhiteBoxData struct {
 // WhiteBoxStudy builds the workload profile from the 1-core run and
 // validates the parameter-derived model over the sweep.
 func (r *Runner) WhiteBoxStudy(spec machine.Spec, program string, class workload.Class, coreCounts []int) (WhiteBoxData, error) {
+	sweepWait := r.SweepAsync(spec, program, class, coreCounts)
 	base, err := r.Run(spec, program, class, 1)
 	if err != nil {
 		return WhiteBoxData{}, err
@@ -225,7 +240,7 @@ func (r *Runner) WhiteBoxStudy(spec machine.Spec, program string, class workload
 	if err != nil {
 		return WhiteBoxData{}, err
 	}
-	sweep, err := r.Sweep(spec, program, class, coreCounts)
+	sweep, err := sweepWait()
 	if err != nil {
 		return WhiteBoxData{}, err
 	}

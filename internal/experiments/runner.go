@@ -1,15 +1,11 @@
-// Package experiments regenerates the paper's evaluation artifacts — Table
-// II, Fig. 3, Table III, Fig. 4, Fig. 5, Fig. 6 and Table IV — by running
-// the workloads (internal/workload) on the simulated machines
-// (internal/machine + internal/sim), fitting the analytical model
-// (internal/core) from the paper's measurement plans, and rendering the
-// same rows and series the paper reports.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -17,17 +13,49 @@ import (
 	"repro/internal/workload"
 )
 
-// Runner executes and caches simulation runs. Sweeps for different
-// experiments share runs (e.g. the CG.C sweep feeds Fig. 3, Fig. 5 and
-// Table IV), so the cache cuts total runtime substantially.
+// Runner executes, deduplicates and caches simulation runs. Sweeps for
+// different experiments share runs (e.g. the CG.C sweep feeds Fig. 3,
+// Fig. 5 and Table IV), so the cache cuts total runtime substantially.
+//
+// A Runner is safe for concurrent use. Cached runs are served without
+// re-simulating; concurrent requests for the same not-yet-cached run block
+// on a single in-flight simulation (singleflight) instead of duplicating
+// it. At most Jobs simulations execute at once. See doc.go for the full
+// concurrency contract.
 type Runner struct {
 	// Tuning scales workload iteration counts (1.0 for full fidelity).
 	Tuning workload.Tuning
-	// Progress, when non-nil, receives one line per executed run.
+	// Progress, when non-nil, receives one line per executed run with a
+	// completed/submitted counter and the run's wall-clock duration.
+	// Writes are serialized by the Runner; the writer itself need not be
+	// goroutine-safe.
 	Progress io.Writer
+	// Jobs bounds the number of simulations executing concurrently.
+	// Zero or negative means runtime.GOMAXPROCS(0). Set it before the
+	// first run; later changes are ignored.
+	Jobs int
 
-	mu    sync.Mutex
-	cache map[runKey]sim.Result
+	mu       sync.Mutex
+	cache    map[runKey]sim.Result
+	inflight map[runKey]*inflightRun
+	sem      chan struct{}
+
+	// progMu guards the progress counters and serializes Progress writes.
+	progMu    sync.Mutex
+	submitted int // simulations started (cache misses claimed)
+	completed int // simulations finished
+
+	// simulate is the underlying run function; tests override it to count
+	// and fake executions. nil means (*Runner).simulateRun.
+	simulate func(spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error)
+}
+
+// inflightRun is one in-flight simulation that duplicate requesters wait
+// on. done is closed after res/err are set.
+type inflightRun struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
 }
 
 type runKey struct {
@@ -38,40 +66,159 @@ type runKey struct {
 	Scale   float64        `json:"scale"`
 }
 
+// RunItem identifies one simulation of a measurement plan: program.class
+// on a machine at one active-core count.
+type RunItem struct {
+	Spec    machine.Spec
+	Program string
+	Class   workload.Class
+	Cores   int
+}
+
 // NewRunner returns a Runner with the given workload tuning.
 func NewRunner(tune workload.Tuning) *Runner {
-	return &Runner{Tuning: tune, cache: make(map[runKey]sim.Result)}
+	return &Runner{
+		Tuning:   tune,
+		cache:    make(map[runKey]sim.Result),
+		inflight: make(map[runKey]*inflightRun),
+	}
+}
+
+// workers returns the semaphore bounding concurrent simulations, creating
+// it from Jobs on first use.
+func (r *Runner) workers() chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sem == nil {
+		jobs := r.Jobs
+		if jobs <= 0 {
+			jobs = runtime.GOMAXPROCS(0)
+		}
+		r.sem = make(chan struct{}, jobs)
+	}
+	return r.sem
 }
 
 // Run simulates program.class on the machine with the given number of
 // active cores (threads fixed at the machine's total cores, per the
-// paper's protocol), caching results.
+// paper's protocol), caching results. Concurrent calls for the same key
+// share one simulation.
 func (r *Runner) Run(spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
 	key := runKey{Machine: spec.Name, Program: program, Class: class, Cores: cores, Scale: r.Tuning.RefScale}
+
 	r.mu.Lock()
 	if res, ok := r.cache[key]; ok {
 		r.mu.Unlock()
 		return res, nil
 	}
+	if fl, ok := r.inflight[key]; ok {
+		// Another goroutine is already simulating this key: wait for it
+		// rather than duplicating the run or blocking the whole cache.
+		r.mu.Unlock()
+		<-fl.done
+		return fl.res, fl.err
+	}
+	fl := &inflightRun{done: make(chan struct{})}
+	if r.inflight == nil {
+		r.inflight = make(map[runKey]*inflightRun)
+	}
+	r.inflight[key] = fl
 	r.mu.Unlock()
 
+	fl.res, fl.err = r.execute(spec, program, class, cores)
+
+	r.mu.Lock()
+	if fl.err == nil {
+		r.cache[key] = fl.res
+	}
+	delete(r.inflight, key)
+	r.mu.Unlock()
+	close(fl.done)
+	return fl.res, fl.err
+}
+
+// execute performs one simulation under the worker-pool bound and reports
+// progress.
+func (r *Runner) execute(spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
+	sem := r.workers()
+	sem <- struct{}{}
+	defer func() { <-sem }()
+
+	r.progMu.Lock()
+	r.submitted++
+	r.progMu.Unlock()
+
+	start := time.Now()
+	simulate := r.simulate
+	if simulate == nil {
+		simulate = r.simulateRun
+	}
+	res, err := simulate(spec, program, class, cores)
+
+	r.progMu.Lock()
+	r.completed++
+	if r.Progress != nil && err == nil {
+		fmt.Fprintf(r.Progress, "[%d/%d] run %s %s.%s n=%d: C=%d misses=%d (%.0fms)\n",
+			r.completed, r.submitted, spec.Name, program, class, cores,
+			res.TotalCycles, res.LLCMisses, float64(time.Since(start).Microseconds())/1000)
+	}
+	r.progMu.Unlock()
+	return res, err
+}
+
+// simulateRun is the real simulation backend of Run.
+func (r *Runner) simulateRun(spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
 	wl, err := workload.NewTuned(program, class, r.Tuning)
 	if err != nil {
 		return sim.Result{}, err
 	}
 	threads := spec.TotalCores()
-	res, err := sim.Run(sim.Config{Spec: spec, Threads: threads, Cores: cores}, wl.Streams(threads))
+	return sim.Run(sim.Config{Spec: spec, Threads: threads, Cores: cores}, wl.Streams(threads))
+}
+
+// RunConfig executes one simulation with an explicit sim.Config, outside
+// the cache and singleflight layers (variant machines share a preset name,
+// and hooks are not part of the cache key) but still bounded by the worker
+// pool. The config's Threads selects the stream count; zero defaults to
+// the machine's total cores.
+func (r *Runner) RunConfig(cfg sim.Config, program string, class workload.Class) (sim.Result, error) {
+	wl, err := workload.NewTuned(program, class, r.Tuning)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "run %s %s.%s n=%d: C=%d misses=%d\n",
-			spec.Name, program, class, cores, res.TotalCycles, res.LLCMisses)
+	threads := cfg.Threads
+	if threads == 0 {
+		threads = cfg.Spec.TotalCores()
 	}
-	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
-	return res, nil
+	sem := r.workers()
+	sem <- struct{}{}
+	defer func() { <-sem }()
+	return sim.Run(cfg, wl.Streams(threads))
+}
+
+// RunAll submits a whole measurement plan at once and collects results in
+// plan order. Up to Jobs simulations run concurrently; duplicate items —
+// within the plan or against other in-flight work — are coalesced by the
+// singleflight layer. On failure it returns the first error in plan order
+// after all items settle, so retries observe a quiescent runner.
+func (r *Runner) RunAll(items []RunItem) ([]sim.Result, error) {
+	results := make([]sim.Result, len(items))
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i int, it RunItem) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(it.Spec, it.Program, it.Class, it.Cores)
+		}(i, it)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // Measure converts a run into a model measurement.
@@ -80,24 +227,75 @@ func (r *Runner) Measure(spec machine.Spec, program string, class workload.Class
 	if err != nil {
 		return core.Measurement{}, err
 	}
+	return measurementOf(cores, res), nil
+}
+
+func measurementOf(cores int, res sim.Result) core.Measurement {
 	return core.Measurement{
 		Cores:     cores,
 		Cycles:    float64(res.TotalCycles),
 		LLCMisses: float64(res.LLCMisses),
-	}, nil
+	}
 }
 
-// Sweep measures program.class at each core count.
+// Sweep measures program.class at each core count. The runs execute
+// concurrently (bounded by Jobs); the measurements come back in coreCounts
+// order and are identical to a serial sweep's.
 func (r *Runner) Sweep(spec machine.Spec, program string, class workload.Class, coreCounts []int) ([]core.Measurement, error) {
-	var meas []core.Measurement
-	for _, n := range coreCounts {
-		m, err := r.Measure(spec, program, class, n)
-		if err != nil {
-			return nil, err
-		}
-		meas = append(meas, m)
+	return r.SweepAsync(spec, program, class, coreCounts)()
+}
+
+// SweepAsync starts measuring program.class at each core count without
+// blocking and returns a wait function. The wait function blocks until
+// every run settles and returns the measurements in coreCounts order; it
+// may be called any number of times. Overlapping async sweeps share runs
+// through the cache and singleflight layers.
+func (r *Runner) SweepAsync(spec machine.Spec, program string, class workload.Class, coreCounts []int) func() ([]core.Measurement, error) {
+	items := make([]RunItem, len(coreCounts))
+	for i, n := range coreCounts {
+		items[i] = RunItem{Spec: spec, Program: program, Class: class, Cores: n}
 	}
-	return meas, nil
+	type outcome struct {
+		meas []core.Measurement
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		results, err := r.RunAll(items)
+		if err != nil {
+			ch <- outcome{err: err}
+			return
+		}
+		meas := make([]core.Measurement, len(results))
+		for i, res := range results {
+			meas[i] = measurementOf(coreCounts[i], res)
+		}
+		ch <- outcome{meas: meas}
+	}()
+	var once sync.Once
+	var out outcome
+	return func() ([]core.Measurement, error) {
+		once.Do(func() { out = <-ch })
+		return out.meas, out.err
+	}
+}
+
+// Progressf reports non-run progress (per-figure milestones) through the
+// same serialized Progress writer the runs use.
+func (r *Runner) Progressf(format string, args ...any) {
+	r.progMu.Lock()
+	defer r.progMu.Unlock()
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, format, args...)
+	}
+}
+
+// Completed returns the number of simulations finished and started so far
+// (cache hits and singleflight waiters are not counted).
+func (r *Runner) Completed() (completed, submitted int) {
+	r.progMu.Lock()
+	defer r.progMu.Unlock()
+	return r.completed, r.submitted
 }
 
 // FullSweepCounts returns 1..totalCores.
