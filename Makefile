@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench artifacts-fast clean
+.PHONY: check build vet test short race bench microbench artifacts-fast clean
 
 ## check: the tier-1 gate — vet, build, race-enabled tests.
 check: vet build race
@@ -18,12 +18,25 @@ vet:
 test:
 	$(GO) test ./...
 
+## short: the -short subset (includes the end-to-end smoke claim), what CI
+## runs in addition to the race suite.
+short:
+	$(GO) test -short ./...
+
 ## race: full test suite under the race detector (the Runner is concurrent).
 race:
 	$(GO) test -race ./...
 
-## bench: the per-artifact benchmarks plus the runner scaling benchmark.
+## bench: the tracked benchmark suite. Regenerates BENCH.json and fails if
+## any benchmark regressed >20% ns/op against the committed baseline (fresh
+## numbers land in BENCH.json.new for inspection). Run on an otherwise idle
+## machine; re-baseline deliberately with `go run ./cmd/bench -out BENCH.json`.
 bench:
+	$(GO) run ./cmd/bench -baseline BENCH.json -out BENCH.json
+
+## microbench: every go-test benchmark (per-artifact experiments, eventq,
+## memctrl, runner scaling) with allocation stats.
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 ## artifacts-fast: CI-grade regeneration of every paper artifact — quarter

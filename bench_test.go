@@ -32,6 +32,35 @@ import (
 // first are nearly free.
 var benchTune = workload.Tuning{RefScale: 0.15}
 
+// BenchmarkFullRun is the end-to-end speed benchmark the repo's BENCH.json
+// baseline tracks: the complete Fig. 3 sweep (CG.C, cores 1..8) on the
+// 8-core UMA machine at quarter scale. Unlike the artifact benchmarks
+// above it builds a fresh Runner every iteration, so b.N iterations
+// re-simulate rather than hit the cache — ns/op is honest end-to-end
+// simulation time. The events/sec metric is simulated-events-per-second,
+// the throughput figure quoted in docs/ARCHITECTURE.md.
+func BenchmarkFullRun(b *testing.B) {
+	spec := machine.IntelUMA8()
+	counts := experiments.FullSweepCounts(spec)
+	var events uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(workload.Tuning{RefScale: 0.25})
+		if _, err := r.Fig3(spec, counts); err != nil {
+			b.Fatal(err)
+		}
+		// The sweep's runs are now cached: fold in their event counts.
+		for _, n := range counts {
+			res, err := r.Run(spec, "CG", workload.C, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += res.Events
+		}
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
 func BenchmarkTableII(b *testing.B) {
 	r := experiments.NewRunner(benchTune)
 	specs := machine.All()

@@ -46,6 +46,25 @@ func TestClaimContentionGrowsWithCores(t *testing.T) {
 	}
 }
 
+// TestClaimContentionSmoke is the -short variant of the claim above: one
+// tiny end-to-end sweep (CG.C at 1 and 8 cores, RefScale 0.05) so even the
+// short suite exercises the full stack — trace generation, caches,
+// interconnect, memory controllers, event queue — with loose thresholds
+// that only catch gross breakage.
+func TestClaimContentionSmoke(t *testing.T) {
+	r := experiments.NewRunner(workload.Tuning{RefScale: 0.05})
+	d, err := r.Fig3(machine.IntelUMA8(), []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if omega := d.Total[1]/d.Total[0] - 1; omega < 0.2 {
+		t.Errorf("CG.C omega(8) = %.2f, want visible contention even at smoke scale", omega)
+	}
+	if workGrowth := d.Work[1] / d.Work[0]; workGrowth > 1.10 || workGrowth < 0.90 {
+		t.Errorf("work cycles grew by %.2fx, want ~constant", workGrowth)
+	}
+}
+
 // TestClaimSizeControlsContention: W sizes contend far less than C sizes
 // for the memory-bound dwarfs (Table II's small-vs-large contrast).
 func TestClaimSizeControlsContention(t *testing.T) {

@@ -1,0 +1,218 @@
+// Command bench runs the repo's tracked performance benchmarks and writes
+// BENCH.json: end-to-end full-sweep simulations per machine preset plus the
+// event-queue micro-benchmarks, each reporting ns/op, allocs/op, B/op and —
+// for the simulations — simulated events per second.
+//
+// With -baseline pointing at a previous BENCH.json, the run becomes a
+// regression gate: any benchmark more than -tolerance slower (ns/op) than
+// its baseline entry fails the run. On failure the fresh numbers are
+// written next to -out with a .new suffix so they can be inspected (or
+// promoted deliberately) without clobbering the baseline.
+//
+// Usage:
+//
+//	bench -out BENCH.json                       # (re)establish a baseline
+//	bench -baseline BENCH.json -out BENCH.json  # gate + refresh (make bench)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/eventq"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// Entry is one benchmark's results.
+type Entry struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// Report is the BENCH.json schema.
+type Report struct {
+	GoVersion  string  `json:"go_version"`
+	GoOS       string  `json:"goos"`
+	GoArch     string  `json:"goarch"`
+	MaxProcs   int     `json:"maxprocs"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH.json", "where to write results")
+		baseline  = flag.String("baseline", "", "previous BENCH.json to gate against (empty = no gate)")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression vs baseline")
+		repeat    = flag.Int("repeat", 3, "runs per benchmark; the fastest is kept (noise only adds time)")
+	)
+	flag.Parse()
+	if *repeat < 1 {
+		*repeat = 1
+	}
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	for _, bm := range benchmarks() {
+		fmt.Fprintf(os.Stderr, "bench: running %s...\n", bm.name)
+		var e Entry
+		for rep := 0; rep < *repeat; rep++ {
+			res := testing.Benchmark(bm.fn)
+			cand := Entry{
+				Name:         bm.name,
+				Iterations:   res.N,
+				NsPerOp:      float64(res.T.Nanoseconds()) / float64(res.N),
+				AllocsPerOp:  res.AllocsPerOp(),
+				BytesPerOp:   res.AllocedBytesPerOp(),
+				EventsPerSec: res.Extra["events/sec"],
+			}
+			if rep == 0 || cand.NsPerOp < e.NsPerOp {
+				e = cand
+			}
+		}
+		fmt.Fprintf(os.Stderr, "bench:   %d iter, %.3g ns/op, %d allocs/op\n",
+			e.Iterations, e.NsPerOp, e.AllocsPerOp)
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+
+	if *baseline != "" {
+		if regressions := gate(rep, *baseline, *tolerance); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "bench: REGRESSION:", r)
+			}
+			if err := write(*out+".new", rep); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "bench: fresh results left in %s.new (baseline untouched)\n", *out)
+			}
+			os.Exit(1)
+		}
+	}
+	if err := write(*out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+}
+
+// gate compares rep against the baseline file and returns one message per
+// benchmark whose ns/op regressed beyond tolerance. Benchmarks missing from
+// the baseline (new ones) pass; benchmarks present only in the baseline are
+// reported so silent deletions fail too.
+func gate(rep Report, path string, tolerance float64) []string {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("cannot read baseline %s: %v", path, err)}
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return []string{fmt.Sprintf("cannot parse baseline %s: %v", path, err)}
+	}
+	byName := make(map[string]Entry, len(rep.Benchmarks))
+	for _, e := range rep.Benchmarks {
+		byName[e.Name] = e
+	}
+	var bad []string
+	for _, old := range base.Benchmarks {
+		now, ok := byName[old.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: present in baseline but not run", old.Name))
+			continue
+		}
+		if limit := old.NsPerOp * (1 + tolerance); now.NsPerOp > limit {
+			bad = append(bad, fmt.Sprintf("%s: %.3g ns/op vs baseline %.3g (+%.0f%%, limit +%.0f%%)",
+				old.Name, now.NsPerOp, old.NsPerOp,
+				100*(now.NsPerOp/old.NsPerOp-1), 100*tolerance))
+		}
+	}
+	return bad
+}
+
+func write(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// benchmarks lists the tracked set: one end-to-end sweep per machine
+// preset (the larger NUMA machines at reduced scale and coarse core
+// counts so the whole suite stays under a minute per preset) plus the
+// event-queue micro-benchmarks in both backends.
+func benchmarks() []namedBench {
+	return []namedBench{
+		{"FullRun/IntelUMA8@0.25", fullRun(machine.IntelUMA8(), 0.25, 1)},
+		{"FullRun/IntelNUMA24@0.05", fullRun(machine.IntelNUMA24(), 0.05, 8)},
+		{"FullRun/AMDNUMA48@0.02", fullRun(machine.AMDNUMA48(), 0.02, 16)},
+		{"EventQueue/Calendar", queueBench(eventq.Calendar)},
+		{"EventQueue/Heap", queueBench(eventq.Heap)},
+	}
+}
+
+// fullRun benchmarks the complete Fig. 3 sweep (CG.C over a core sweep) on
+// one machine, cold-cache per iteration, reporting simulated events/sec.
+// step 1 sweeps every core count; larger steps use the coarse sweep.
+func fullRun(spec machine.Spec, scale float64, step int) func(b *testing.B) {
+	return func(b *testing.B) {
+		counts := experiments.FullSweepCounts(spec)
+		if step > 1 {
+			counts = experiments.CoarseSweepCounts(spec, step)
+		}
+		var events uint64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := experiments.NewRunner(workload.Tuning{RefScale: scale})
+			if _, err := r.Fig3(spec, counts); err != nil {
+				b.Fatal(err)
+			}
+			for _, n := range counts {
+				res, err := r.Run(spec, "CG", workload.C, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	}
+}
+
+// queueBench benchmarks steady-state schedule+dispatch through one event
+// queue backend, the simulator's innermost loop.
+func queueBench(kind eventq.Kind) func(b *testing.B) {
+	return func(b *testing.B) {
+		q := eventq.New(kind)
+		fn := func() {}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q.After(uint64(i%449), fn)
+			if q.Len() >= 64 {
+				for q.Len() > 0 {
+					q.Step()
+				}
+			}
+		}
+		for q.Len() > 0 {
+			q.Step()
+		}
+	}
+}

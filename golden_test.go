@@ -1,0 +1,90 @@
+package repro
+
+// Golden-file regression tests: the rendered Fig. 3 and Table II artifacts
+// at -scale 0.1 are committed under testdata/golden and must reproduce
+// byte-for-byte. The simulator is fully deterministic (seeded workloads,
+// discrete-event execution, total event order), so any diff here is a
+// behavior change — intended ones are re-baselined with `go test -run
+// TestGolden -update .` and reviewed like any other diff.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden fixtures")
+
+// checkGolden compares got against the named fixture (or rewrites it under
+// -update).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run `go test -run TestGolden -update .`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from fixture.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// goldenTune is the fixture scale. 0.1 keeps the two sweeps affordable
+// while leaving every counter large enough that real regressions move it.
+var goldenTune = workload.Tuning{RefScale: 0.1}
+
+func TestGoldenFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden artifacts skipped in -short mode")
+	}
+	r := experiments.NewRunner(goldenTune)
+	d, err := r.Fig3(machine.IntelUMA8(), []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	experiments.RenderFig3(&buf, d)
+	checkGolden(t, "fig3_IntelUMA8.txt", buf.Bytes())
+
+	// The gnuplot dat writer is a second, independent serialization of the
+	// same data; pin it too.
+	dir := t.TempDir()
+	if err := experiments.WriteFig3Dat(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	dat, err := os.ReadFile(filepath.Join(dir, "fig3_IntelUMA8.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig3_IntelUMA8.dat", dat)
+}
+
+func TestGoldenTableII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden artifacts skipped in -short mode")
+	}
+	r := experiments.NewRunner(goldenTune)
+	specs := []machine.Spec{machine.IntelUMA8()}
+	d, err := r.TableII(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	experiments.RenderTableII(&buf, d, specs)
+	checkGolden(t, "tableII_IntelUMA8.txt", buf.Bytes())
+}

@@ -81,3 +81,74 @@ func (s Set) Diff(other Set) Set {
 	}
 	return d
 }
+
+// index assigns each paper event a dense slot for array-backed accumulation.
+var index = map[Event]int{
+	TotCyc: 0, TotIns: 1, ResStl: 2, LLCMisses: 3, WorkCyc: 4, MemStl: 5, RemoteReq: 6,
+}
+
+// byIndex is the inverse of index, in slot order.
+var byIndex = [...]Event{TotCyc, TotIns, ResStl, LLCMisses, WorkCyc, MemStl, RemoteReq}
+
+// Accumulator batches counter updates over many runs (or many per-thread
+// snapshots) without the per-update map hashing and allocation a Set would
+// cost: the values live in a fixed array indexed by event slot. Aggregation
+// loops — summing a sweep, totaling per-thread counters — add into an
+// Accumulator and materialize a Set once at the end.
+//
+// The zero value is an empty accumulator.
+type Accumulator struct {
+	v [len(byIndex)]uint64
+	n uint64
+}
+
+// AddResult folds one simulation result into the accumulator.
+func (a *Accumulator) AddResult(r sim.Result) {
+	a.v[0] += r.TotalCycles
+	a.v[1] += r.Instructions
+	a.v[2] += r.StallCycles
+	a.v[3] += r.LLCMisses
+	a.v[4] += r.WorkCycles
+	a.v[5] += r.MemStallCycles
+	a.v[6] += r.RemoteRequests
+	a.n++
+}
+
+// AddThread folds one per-thread counter snapshot into the accumulator.
+func (a *Accumulator) AddThread(t sim.ThreadStats) {
+	a.v[0] += t.Cycles()
+	a.v[1] += t.Instructions
+	a.v[2] += t.Stall
+	a.v[3] += t.OffChip
+	a.v[4] += t.Work
+	a.v[5] += t.MemStall
+	a.v[6] += t.Remote
+	a.n++
+}
+
+// Add increments a single event (no-op for events outside the paper's set).
+func (a *Accumulator) Add(e Event, delta uint64) {
+	if i, ok := index[e]; ok {
+		a.v[i] += delta
+	}
+}
+
+// Read returns the accumulated value of an event (0 if absent).
+func (a *Accumulator) Read(e Event) uint64 {
+	if i, ok := index[e]; ok {
+		return a.v[i]
+	}
+	return 0
+}
+
+// Runs returns how many results/snapshots were folded in.
+func (a *Accumulator) Runs() uint64 { return a.n }
+
+// Set materializes the accumulated totals as a Set.
+func (a *Accumulator) Set() Set {
+	s := make(Set, len(byIndex))
+	for i, e := range byIndex {
+		s[e] = a.v[i]
+	}
+	return s
+}

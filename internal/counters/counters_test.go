@@ -59,6 +59,70 @@ func TestStringFormat(t *testing.T) {
 	}
 }
 
+func TestAccumulatorMatchesSet(t *testing.T) {
+	r1 := sim.Result{TotalCycles: 1000, WorkCycles: 600, StallCycles: 400,
+		MemStallCycles: 300, Instructions: 900, LLCMisses: 42, RemoteRequests: 7}
+	r2 := sim.Result{TotalCycles: 500, WorkCycles: 200, StallCycles: 300,
+		MemStallCycles: 100, Instructions: 450, LLCMisses: 11, RemoteRequests: 3}
+	var acc Accumulator
+	acc.AddResult(r1)
+	acc.AddResult(r2)
+	if acc.Runs() != 2 {
+		t.Errorf("runs = %d", acc.Runs())
+	}
+	// The batched totals must equal event-wise summation of the two Sets.
+	want := Set{}
+	for _, s := range []Set{FromResult(r1), FromResult(r2)} {
+		for e, v := range s {
+			want[e] += v
+		}
+	}
+	got := acc.Set()
+	for e, v := range want {
+		if got[e] != v {
+			t.Errorf("%s = %d, want %d", e, got[e], v)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("events: got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestAccumulatorThreads(t *testing.T) {
+	var acc Accumulator
+	acc.AddThread(sim.ThreadStats{Work: 60, Stall: 40, MemStall: 30,
+		Instructions: 90, OffChip: 4, Remote: 1})
+	acc.AddThread(sim.ThreadStats{Work: 20, Stall: 30, MemStall: 10,
+		Instructions: 45, OffChip: 1, Remote: 0})
+	if acc.Read(TotCyc) != 150 || acc.Read(WorkCyc) != 80 || acc.Read(LLCMisses) != 5 {
+		t.Errorf("set = %v", acc.Set())
+	}
+	acc.Add(RemoteReq, 10)
+	if acc.Read(RemoteReq) != 11 {
+		t.Errorf("remote = %d", acc.Read(RemoteReq))
+	}
+	acc.Add(Event("NOT_A_COUNTER"), 5)
+	if acc.Read(Event("NOT_A_COUNTER")) != 0 {
+		t.Error("unknown events must be ignored")
+	}
+}
+
+// TestAccumulatorZeroAlloc pins the batching contract: folding results in
+// does not allocate (the Set materialization at the end is the only map).
+func TestAccumulatorZeroAlloc(t *testing.T) {
+	r := sim.Result{TotalCycles: 1000, WorkCycles: 600}
+	th := sim.ThreadStats{Work: 60, Stall: 40}
+	var acc Accumulator
+	avg := testing.AllocsPerRun(100, func() {
+		acc.AddResult(r)
+		acc.AddThread(th)
+		acc.Add(TotCyc, 1)
+	})
+	if avg != 0 {
+		t.Errorf("allocs per batched update = %v, want 0", avg)
+	}
+}
+
 func TestDiff(t *testing.T) {
 	after := Set{TotCyc: 100, LLCMisses: 10}
 	before := Set{TotCyc: 60, LLCMisses: 4}

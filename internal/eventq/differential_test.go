@@ -1,0 +1,108 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The differential suite drives the calendar queue and the heap queue with
+// identical randomized (seeded) schedules and requires the exact same
+// dispatch order. Because both implementations order events by the total
+// key (time, scheduling sequence), equal-timestamp ties MUST pop in FIFO
+// scheduling order — that is the pinned determinism contract; any
+// divergence is a bug in one of the queues.
+
+// script is one randomized workload: a mix of up-front scheduling, nested
+// rescheduling from inside callbacks, and occasional bursts of equal
+// timestamps.
+func runScript(q Interface, rng *rand.Rand, n int) []uint64 {
+	var order []uint64
+	id := uint64(0)
+	var record func()
+	schedule := func(delay uint64) {
+		id++
+		myID := id
+		q.After(delay, func() {
+			order = append(order, myID, q.Now())
+			record()
+		})
+	}
+	nested := n / 2
+	record = func() {
+		if nested > 0 {
+			nested--
+			// Nested events: mostly short hops (the simulator's common
+			// case), sometimes a large jump, sometimes a same-time event.
+			switch rng.Intn(10) {
+			case 0:
+				schedule(0) // same-timestamp tie
+			case 1:
+				schedule(uint64(rng.Intn(1 << 16))) // far jump
+			default:
+				schedule(uint64(rng.Intn(700)))
+			}
+		}
+	}
+	for i := 0; i < n-n/2; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			// Burst of ties at one timestamp.
+			t := q.Now() + uint64(rng.Intn(1000))
+			for j := 0; j < 3 && i < n-n/2; j++ {
+				id++
+				myID := id
+				q.At(t, func() { order = append(order, myID, q.Now()) })
+				i++
+			}
+		default:
+			schedule(uint64(rng.Intn(5000)))
+		}
+	}
+	q.Run()
+	return order
+}
+
+func TestDifferentialCalendarVsHeap(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		cal := runScript(new(Queue), rand.New(rand.NewSource(seed)), 2000)
+		heap := runScript(new(HeapQueue), rand.New(rand.NewSource(seed)), 2000)
+		if len(cal) != len(heap) {
+			t.Fatalf("seed %d: calendar dispatched %d records, heap %d", seed, len(cal)/2, len(heap)/2)
+		}
+		for i := range cal {
+			if cal[i] != heap[i] {
+				t.Fatalf("seed %d: dispatch record %d differs: calendar (id,now)=(%d,%d) heap (%d,%d)",
+					seed, i/2, cal[i&^1], cal[i|1], heap[i&^1], heap[i|1])
+			}
+		}
+	}
+}
+
+// TestDifferentialTieOrderPinned documents the tie contract explicitly:
+// a block of events scheduled for one timestamp pops in scheduling order on
+// both implementations, even when interleaved with earlier and later times.
+func TestDifferentialTieOrderPinned(t *testing.T) {
+	kinds(t, func(t *testing.T, newQ func() Interface) {
+		q := newQ()
+		var order []int
+		q.At(50, func() { order = append(order, -1) })
+		for i := 0; i < 100; i++ {
+			i := i
+			q.At(100, func() { order = append(order, i) })
+		}
+		q.At(70, func() { order = append(order, -2) })
+		q.Run()
+		want := append([]int{-1, -2}, make([]int, 0, 100)...)
+		for i := 0; i < 100; i++ {
+			want = append(want, i)
+		}
+		if len(order) != len(want) {
+			t.Fatalf("got %d events, want %d", len(order), len(want))
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("position %d: got %d, want %d (ties must pop in FIFO scheduling order)", i, order[i], want[i])
+			}
+		}
+	})
+}

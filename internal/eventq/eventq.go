@@ -3,96 +3,91 @@
 // queue of callbacks with a monotonic simulated clock measured in cycles.
 //
 // Events scheduled for the same time run in FIFO order of scheduling, which
-// keeps whole-system simulations deterministic.
+// keeps whole-system simulations deterministic. Every implementation orders
+// events by the total key (time, schedule sequence), so the pop order is
+// identical across implementations — the determinism contract the
+// differential tests pin.
+//
+// Two implementations share the Interface:
+//
+//   - Queue, a calendar (bucket) queue tuned for the simulator's
+//     near-monotonic timestamps. Insert and pop are amortized O(1) and the
+//     steady state allocates nothing.
+//   - HeapQueue, a classic binary heap: O(log n) operations, simple and
+//     distribution-independent. It is the fallback and the differential-test
+//     oracle for the calendar queue.
 package eventq
 
-import "container/heap"
-
-// Queue is a discrete-event queue. The zero value is ready to use.
-type Queue struct {
-	now   uint64
-	seq   uint64
-	items eventHeap
-}
-
+// event is one scheduled callback. seq breaks same-time ties in FIFO
+// scheduling order.
 type event struct {
 	t   uint64
 	seq uint64
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// before reports whether e runs before other: earlier time first, earlier
+// scheduling order among equal times.
+func (e event) before(other event) bool {
+	if e.t != other.t {
+		return e.t < other.t
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return it
+	return e.seq < other.seq
 }
 
-// Now returns the current simulated time in cycles.
-func (q *Queue) Now() uint64 { return q.now }
-
-// Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.items) }
-
-// At schedules fn to run at absolute time t. Scheduling in the past (t <
-// Now) is clamped to Now, which keeps zero-latency interactions safe.
-func (q *Queue) At(t uint64, fn func()) {
-	if t < q.now {
-		t = q.now
-	}
-	q.seq++
-	heap.Push(&q.items, event{t: t, seq: q.seq, fn: fn})
+// Interface is the event-queue contract shared by Queue and HeapQueue. The
+// simulator programs against it so the backend can be swapped (and
+// differentially tested) without touching the engine.
+type Interface interface {
+	// Now returns the current simulated time in cycles.
+	Now() uint64
+	// Len returns the number of pending events.
+	Len() int
+	// Dispatched returns the number of events executed so far (the
+	// simulated-events/sec numerator for benchmark reporting).
+	Dispatched() uint64
+	// At schedules fn at absolute time t; scheduling in the past is clamped
+	// to Now.
+	At(t uint64, fn func())
+	// After schedules fn d cycles from now.
+	After(d uint64, fn func())
+	// Step pops and runs the earliest event, advancing the clock to its
+	// time. It reports whether an event was run.
+	Step() bool
+	// Run executes events until the queue is empty.
+	Run()
+	// RunUntil executes events with time <= t, then advances the clock to t.
+	RunUntil(t uint64)
+	// RunWhile executes events while cond() returns true and events remain.
+	RunWhile(cond func() bool)
 }
 
-// After schedules fn to run d cycles from now.
-func (q *Queue) After(d uint64, fn func()) {
-	q.At(q.now+d, fn)
-}
+// Kind selects an event-queue implementation.
+type Kind uint8
 
-// Step pops and runs the earliest event, advancing the clock to its time.
-// It reports whether an event was run.
-func (q *Queue) Step() bool {
-	if len(q.items) == 0 {
-		return false
-	}
-	ev := heap.Pop(&q.items).(event)
-	q.now = ev.t
-	ev.fn()
-	return true
-}
+const (
+	// Calendar is the bucket queue (the default).
+	Calendar Kind = iota
+	// Heap is the binary-heap fallback and differential-test oracle.
+	Heap
+)
 
-// Run executes events until the queue is empty.
-func (q *Queue) Run() {
-	for q.Step() {
-	}
-}
-
-// RunUntil executes events with time <= t, then advances the clock to t.
-// Events scheduled during execution are honored if they fall within t.
-func (q *Queue) RunUntil(t uint64) {
-	for len(q.items) > 0 && q.items[0].t <= t {
-		q.Step()
-	}
-	if q.now < t {
-		q.now = t
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Calendar:
+		return "calendar"
+	case Heap:
+		return "heap"
+	default:
+		return "unknown"
 	}
 }
 
-// RunWhile executes events while cond() returns true and events remain.
-func (q *Queue) RunWhile(cond func() bool) {
-	for cond() && q.Step() {
+// New returns an empty queue of the given kind.
+func New(k Kind) Interface {
+	if k == Heap {
+		return new(HeapQueue)
 	}
+	return new(Queue)
 }

@@ -5,139 +5,238 @@ import (
 	"testing/quick"
 )
 
+// kinds runs a subtest against every queue implementation.
+func kinds(t *testing.T, f func(t *testing.T, newQ func() Interface)) {
+	t.Helper()
+	for _, k := range []Kind{Calendar, Heap} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			f(t, func() Interface { return New(k) })
+		})
+	}
+}
+
 func TestOrderingByTime(t *testing.T) {
-	var q Queue
-	var order []int
-	q.At(30, func() { order = append(order, 3) })
-	q.At(10, func() { order = append(order, 1) })
-	q.At(20, func() { order = append(order, 2) })
-	q.Run()
-	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
-		t.Errorf("order = %v", order)
-	}
-	if q.Now() != 30 {
-		t.Errorf("now = %d", q.Now())
-	}
+	kinds(t, func(t *testing.T, newQ func() Interface) {
+		q := newQ()
+		var order []int
+		q.At(30, func() { order = append(order, 3) })
+		q.At(10, func() { order = append(order, 1) })
+		q.At(20, func() { order = append(order, 2) })
+		q.Run()
+		if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+			t.Errorf("order = %v", order)
+		}
+		if q.Now() != 30 {
+			t.Errorf("now = %d", q.Now())
+		}
+		if q.Dispatched() != 3 {
+			t.Errorf("dispatched = %d", q.Dispatched())
+		}
+	})
 }
 
 func TestFIFOTieBreak(t *testing.T) {
-	var q Queue
-	var order []int
-	for i := 0; i < 10; i++ {
-		i := i
-		q.At(5, func() { order = append(order, i) })
-	}
-	q.Run()
-	for i, v := range order {
-		if v != i {
-			t.Fatalf("same-time events ran out of order: %v", order)
+	kinds(t, func(t *testing.T, newQ func() Interface) {
+		q := newQ()
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			q.At(5, func() { order = append(order, i) })
 		}
-	}
+		q.Run()
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("same-time events ran out of order: %v", order)
+			}
+		}
+	})
 }
 
 func TestAfterAndNestedScheduling(t *testing.T) {
-	var q Queue
-	var times []uint64
-	q.After(10, func() {
-		times = append(times, q.Now())
-		q.After(5, func() {
+	kinds(t, func(t *testing.T, newQ func() Interface) {
+		q := newQ()
+		var times []uint64
+		q.After(10, func() {
 			times = append(times, q.Now())
+			q.After(5, func() {
+				times = append(times, q.Now())
+			})
 		})
+		q.Run()
+		if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+			t.Errorf("times = %v", times)
+		}
 	})
-	q.Run()
-	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
-		t.Errorf("times = %v", times)
-	}
 }
 
 func TestPastSchedulingClamped(t *testing.T) {
-	var q Queue
-	ran := false
-	q.At(100, func() {
-		q.At(50, func() { ran = true }) // in the past: clamp to now
-		if q.Len() != 1 {
-			t.Errorf("len = %d", q.Len())
+	kinds(t, func(t *testing.T, newQ func() Interface) {
+		q := newQ()
+		ran := false
+		q.At(100, func() {
+			q.At(50, func() { ran = true }) // in the past: clamp to now
+			if q.Len() != 1 {
+				t.Errorf("len = %d", q.Len())
+			}
+		})
+		q.Run()
+		if !ran {
+			t.Error("clamped event did not run")
+		}
+		if q.Now() != 100 {
+			t.Errorf("now = %d", q.Now())
 		}
 	})
-	q.Run()
-	if !ran {
-		t.Error("clamped event did not run")
-	}
-	if q.Now() != 100 {
-		t.Errorf("now = %d", q.Now())
-	}
 }
 
 func TestStepEmpty(t *testing.T) {
-	var q Queue
-	if q.Step() {
-		t.Error("Step on empty queue returned true")
-	}
+	kinds(t, func(t *testing.T, newQ func() Interface) {
+		if newQ().Step() {
+			t.Error("Step on empty queue returned true")
+		}
+	})
 }
 
 func TestRunUntil(t *testing.T) {
-	var q Queue
-	var ran []uint64
-	for _, tm := range []uint64{5, 10, 15, 20} {
-		tm := tm
-		q.At(tm, func() { ran = append(ran, tm) })
-	}
-	q.RunUntil(12)
-	if len(ran) != 2 {
-		t.Errorf("ran = %v", ran)
-	}
-	if q.Now() != 12 {
-		t.Errorf("now = %d, want 12", q.Now())
-	}
-	q.RunUntil(100)
-	if len(ran) != 4 || q.Now() != 100 {
-		t.Errorf("ran = %v now = %d", ran, q.Now())
-	}
+	kinds(t, func(t *testing.T, newQ func() Interface) {
+		q := newQ()
+		var ran []uint64
+		for _, tm := range []uint64{5, 10, 15, 20} {
+			tm := tm
+			q.At(tm, func() { ran = append(ran, tm) })
+		}
+		q.RunUntil(12)
+		if len(ran) != 2 {
+			t.Errorf("ran = %v", ran)
+		}
+		if q.Now() != 12 {
+			t.Errorf("now = %d, want 12", q.Now())
+		}
+		q.RunUntil(100)
+		if len(ran) != 4 || q.Now() != 100 {
+			t.Errorf("ran = %v now = %d", ran, q.Now())
+		}
+	})
 }
 
 func TestRunUntilHonorsNestedWithinBound(t *testing.T) {
-	var q Queue
-	var ran []uint64
-	q.At(5, func() {
-		q.After(3, func() { ran = append(ran, q.Now()) }) // t=8, within bound
+	kinds(t, func(t *testing.T, newQ func() Interface) {
+		q := newQ()
+		var ran []uint64
+		q.At(5, func() {
+			q.After(3, func() { ran = append(ran, q.Now()) }) // t=8, within bound
+		})
+		q.RunUntil(10)
+		if len(ran) != 1 || ran[0] != 8 {
+			t.Errorf("ran = %v", ran)
+		}
 	})
-	q.RunUntil(10)
-	if len(ran) != 1 || ran[0] != 8 {
-		t.Errorf("ran = %v", ran)
-	}
 }
 
 func TestRunWhile(t *testing.T) {
-	var q Queue
-	count := 0
-	for i := 0; i < 10; i++ {
-		q.At(uint64(i), func() { count++ })
-	}
-	q.RunWhile(func() bool { return count < 3 })
-	if count != 3 {
-		t.Errorf("count = %d", count)
-	}
+	kinds(t, func(t *testing.T, newQ func() Interface) {
+		q := newQ()
+		count := 0
+		for i := 0; i < 10; i++ {
+			q.At(uint64(i), func() { count++ })
+		}
+		q.RunWhile(func() bool { return count < 3 })
+		if count != 3 {
+			t.Errorf("count = %d", count)
+		}
+	})
 }
 
 // Property: events always run in non-decreasing time order regardless of
 // scheduling order.
 func TestMonotoneClockProperty(t *testing.T) {
-	f := func(times []uint16) bool {
-		var q Queue
-		var ran []uint64
-		for _, tm := range times {
-			tm := uint64(tm)
-			q.At(tm, func() { ran = append(ran, q.Now()) })
+	kinds(t, func(t *testing.T, newQ func() Interface) {
+		f := func(times []uint16) bool {
+			q := newQ()
+			var ran []uint64
+			for _, tm := range times {
+				tm := uint64(tm)
+				q.At(tm, func() { ran = append(ran, q.Now()) })
+			}
+			q.Run()
+			for i := 1; i < len(ran); i++ {
+				if ran[i] < ran[i-1] {
+					return false
+				}
+			}
+			return len(ran) == len(times)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestCalendarSparseFarFuture exercises the direct-search path: a few
+// events separated by gaps much larger than the calendar year.
+func TestCalendarSparseFarFuture(t *testing.T) {
+	var q Queue
+	var ran []uint64
+	for _, tm := range []uint64{1, 1 << 20, 1 << 30, 1 << 40} {
+		tm := tm
+		q.At(tm, func() { ran = append(ran, tm) })
+	}
+	q.Run()
+	if len(ran) != 4 {
+		t.Fatalf("ran %d events", len(ran))
+	}
+	for i := 1; i < len(ran); i++ {
+		if ran[i] < ran[i-1] {
+			t.Fatalf("out of order: %v", ran)
+		}
+	}
+}
+
+// TestCalendarResizeKeepsOrder drives the population through grow and
+// shrink cycles while checking pop order.
+func TestCalendarResizeKeepsOrder(t *testing.T) {
+	var q Queue
+	var last uint64
+	popped := 0
+	// Grow: thousands of pending events force multiple doublings.
+	for i := 0; i < 5000; i++ {
+		tm := uint64((i * 7919) % 100000)
+		q.At(tm, func() {
+			if q.Now() < last {
+				t.Fatalf("clock went backwards: %d < %d", q.Now(), last)
+			}
+			last = q.Now()
+			popped++
+		})
+	}
+	// Shrink: drain fully (resize-down happens as n falls).
+	q.Run()
+	if popped != 5000 {
+		t.Fatalf("popped %d/5000", popped)
+	}
+}
+
+// TestZeroAllocSteadyState pins the tentpole's zero-allocation contract:
+// once warmed up, scheduling and dispatching events allocates nothing, for
+// both implementations.
+func TestZeroAllocSteadyState(t *testing.T) {
+	kinds(t, func(t *testing.T, newQ func() Interface) {
+		q := newQ()
+		fn := func() {}
+		// Warm up: grow internal storage to steady-state size.
+		for i := 0; i < 4096; i++ {
+			q.After(uint64(i%257), fn)
 		}
 		q.Run()
-		for i := 1; i < len(ran); i++ {
-			if ran[i] < ran[i-1] {
-				return false
+		avg := testing.AllocsPerRun(100, func() {
+			for i := 0; i < 64; i++ {
+				q.After(uint64(i%257), fn)
 			}
+			q.Run()
+		})
+		if avg != 0 {
+			t.Errorf("steady-state allocs per 64-event batch = %v, want 0", avg)
 		}
-		return len(ran) == len(times)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
-		t.Error(err)
-	}
+	})
 }

@@ -99,6 +99,10 @@ func (r *Runner) Sensitivity(spec machine.Spec, program string, class workload.C
 	points := make([]SensitivityPoint, len(variants))
 	err := parallelEach(len(variants), func(i int) error {
 		s := spec
+		// A Spec copy still shares the Levels backing array; clone it so a
+		// mutator writing a level (prefetch) can't race the other variants'
+		// concurrent reads.
+		s.Levels = append([]machine.CacheLevel(nil), spec.Levels...)
 		variants[i].mutate(&s)
 		omega, err := r.omegaFullMachine(s, program, class)
 		if err != nil {

@@ -156,10 +156,66 @@ type request struct {
 	done    func(rowHit bool)
 }
 
+// reqRing is a growable power-of-two ring buffer of requests. Popping the
+// head is O(1); the FR-FCFS mid-queue removal shifts only the entries ahead
+// of the picked one. Once grown to the channel's high-water depth it never
+// allocates again — the controller's part of the zero-alloc hot path.
+type reqRing struct {
+	buf  []request
+	head int
+	n    int
+}
+
+func (r *reqRing) len() int { return r.n }
+
+func (r *reqRing) at(i int) *request {
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+func (r *reqRing) push(req request) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = req
+	r.n++
+}
+
+func (r *reqRing) grow() {
+	size := 2 * len(r.buf)
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]request, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = *r.at(i)
+	}
+	r.buf, r.head = buf, 0
+}
+
+// popAt removes and returns the i-th queued request, preserving the order
+// of the rest. Entries before i shift one slot toward the tail so the
+// common i==0 case is O(1).
+func (r *reqRing) popAt(i int) request {
+	req := *r.at(i)
+	for ; i > 0; i-- {
+		*r.at(i) = *r.at(i - 1)
+	}
+	r.buf[r.head] = request{} // drop the callback reference
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return req
+}
+
 type channel struct {
-	busy  bool
-	queue []request
-	rows  []int64 // open row per bank; -1 = closed
+	busy bool
+	q    reqRing
+	rows []int64 // open row per bank; -1 = closed
+	// inService is the request currently occupying the channel, kept here
+	// (with its row-hit flag) so the prebuilt finish callback needs no
+	// per-service closure.
+	inService  request
+	serviceHit bool
+	finishFn   func()
 }
 
 // Controller is one memory controller instance.
@@ -185,6 +241,8 @@ func New(cfg Config, clock Clock) (*Controller, error) {
 			rows[b] = -1
 		}
 		c.chans[i].rows = rows
+		i := i
+		c.chans[i].finishFn = func() { c.finish(i) }
 	}
 	return c, nil
 }
@@ -203,7 +261,7 @@ func (c *Controller) ResetStats() { c.stats = Stats{} }
 func (c *Controller) QueueLen() int {
 	n := 0
 	for i := range c.chans {
-		n += len(c.chans[i].queue)
+		n += c.chans[i].q.len()
 	}
 	return n
 }
@@ -230,13 +288,13 @@ func (c *Controller) bankOf(addr uint64) int {
 func (c *Controller) Submit(addr uint64, done func(rowHit bool)) error {
 	chIdx := c.route(addr)
 	ch := &c.chans[chIdx]
-	if c.cfg.MaxQueue > 0 && len(ch.queue) >= c.cfg.MaxQueue {
+	if c.cfg.MaxQueue > 0 && ch.q.len() >= c.cfg.MaxQueue {
 		c.stats.Rejected++
 		return ErrQueueFull
 	}
-	ch.queue = append(ch.queue, request{addr: addr, arrival: c.clock.Now(), done: done})
-	if len(ch.queue) > c.stats.MaxQueueLen {
-		c.stats.MaxQueueLen = len(ch.queue)
+	ch.q.push(request{addr: addr, arrival: c.clock.Now(), done: done})
+	if ch.q.len() > c.stats.MaxQueueLen {
+		c.stats.MaxQueueLen = ch.q.len()
 	}
 	if !ch.busy {
 		c.startNext(chIdx)
@@ -250,20 +308,20 @@ func (c *Controller) Submit(addr uint64, done func(rowHit bool)) error {
 // queue rather than overlap).
 func (c *Controller) startNext(chIdx int) {
 	ch := &c.chans[chIdx]
-	if ch.busy || len(ch.queue) == 0 {
+	if ch.busy || ch.q.len() == 0 {
 		return
 	}
 	pick := 0
 	if c.cfg.Discipline == FRFCFS {
-		for i, r := range ch.queue {
+		for i := 0; i < ch.q.len(); i++ {
+			r := ch.q.at(i)
 			if ch.rows[c.bankOf(r.addr)] == c.rowOf(r.addr) {
 				pick = i
 				break
 			}
 		}
 	}
-	req := ch.queue[pick]
-	ch.queue = append(ch.queue[:pick], ch.queue[pick+1:]...)
+	req := ch.q.popAt(pick)
 
 	bank := c.bankOf(req.addr)
 	row := c.rowOf(req.addr)
@@ -282,10 +340,19 @@ func (c *Controller) startNext(chIdx int) {
 		c.stats.RowHits++
 	}
 	ch.busy = true
-	c.clock.After(service, func() {
-		c.stats.Requests++
-		ch.busy = false
-		req.done(rowHit)
-		c.startNext(chIdx)
-	})
+	ch.inService = req
+	ch.serviceHit = rowHit
+	c.clock.After(service, ch.finishFn)
+}
+
+// finish completes the in-service request on channel chIdx and pulls the
+// next one. It runs from the channel's prebuilt clock callback.
+func (c *Controller) finish(chIdx int) {
+	ch := &c.chans[chIdx]
+	c.stats.Requests++
+	ch.busy = false
+	req, rowHit := ch.inService, ch.serviceHit
+	ch.inService = request{} // drop the callback reference while idle
+	req.done(rowHit)
+	c.startNext(chIdx)
 }

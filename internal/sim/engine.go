@@ -6,13 +6,6 @@ import (
 	"repro/internal/trace"
 )
 
-// pendingIssue is an off-chip request waiting for an MSHR slot.
-type pendingIssue struct {
-	addr      uint64
-	dep       bool
-	traversal uint64 // on-chip cache traversal latency riding on the request
-}
-
 // thread is one program thread: a reference stream plus execution state.
 type thread struct {
 	id          int
@@ -25,9 +18,10 @@ type thread struct {
 	atBarrier   bool // blocked at a synchronization barrier
 	barrierSeq  int  // barriers passed (the ordinal of the next one)
 	blockStart  uint64
-	pending     pendingIssue // valid when wantSlot
+	pending     *memReq // request waiting for an MSHR slot (valid when wantSlot)
 	finished    bool
 	smtCarry    float64 // fractional SMT slowdown cycles carried forward
+	arriveFn    func()  // prebuilt barrier-arrival event callback
 	st          ThreadStats
 }
 
@@ -39,14 +33,21 @@ type core struct {
 	threads     []*thread
 	cur         int // index into threads of the running thread
 	quantumLeft uint64
-	stepQueued  bool // a step event is scheduled or executing
+	stepQueued  bool   // a step event is scheduled or executing
+	stepFn      func() // prebuilt step event callback
 }
 
 // engine wires machine, threads and cores to the event queue.
+//
+// The hot path is allocation-free in steady state: every event callback the
+// engine schedules is either prebuilt once (per-core step, per-thread
+// barrier arrival, barrier recheck) or owned by a pooled memReq whose
+// closures are created when the request object is first allocated and live
+// for as long as the object cycles through the free list.
 type engine struct {
 	cfg     Config
 	m       *machine.Machine
-	q       *eventq.Queue
+	q       eventq.Interface
 	threads []*thread
 	cores   []*core
 	// l1Latency is subtracted from hit latencies: first-level hits are
@@ -57,6 +58,9 @@ type engine struct {
 	pageHome map[uint64]int // page number -> MC index
 	// firstTouchRR rotates among a socket's local controllers.
 	firstTouchRR []int
+	// localMCs caches Spec.LocalMCs per socket: homeMC and hopsFrom run
+	// once per off-chip request and must not allocate.
+	localMCs [][]int
 	// interleaveRR rotates over activeMCs for the Interleave policy.
 	interleaveRR int
 	activeMCs    []int
@@ -65,15 +69,21 @@ type engine struct {
 	// finished threads (which count as arrived everywhere).
 	barrierArrivals map[int]int
 	finishedThreads int
+	recheckFn       func() // prebuilt recheckBarriers event callback
 
 	// Coherence directory (Config.Coherence): per cache line, bits 0-15
 	// record which sockets hold a copy. A store invalidates every other
 	// socket's copies.
 	directory     map[uint64]uint16
 	invalidations uint64
+
+	// reqFree is the memReq free list. In-flight requests are bounded by
+	// threads x MSHRs, so the list reaches a small steady-state size and
+	// then no request is ever allocated again.
+	reqFree []*memReq
 }
 
-func newEngine(cfg Config, m *machine.Machine, q *eventq.Queue) *engine {
+func newEngine(cfg Config, m *machine.Machine, q eventq.Interface) *engine {
 	e := &engine{
 		cfg:             cfg,
 		m:               m,
@@ -82,6 +92,7 @@ func newEngine(cfg Config, m *machine.Machine, q *eventq.Queue) *engine {
 		firstTouchRR:    make([]int, cfg.Spec.Sockets),
 		barrierArrivals: make(map[int]int),
 	}
+	e.recheckFn = e.recheckBarriers
 	if cfg.Coherence {
 		e.directory = make(map[uint64]uint16)
 	}
@@ -89,17 +100,26 @@ func newEngine(cfg Config, m *machine.Machine, q *eventq.Queue) *engine {
 		e.l1Latency = cfg.Spec.Levels[0].Latency
 	}
 	for c := 0; c < cfg.Cores; c++ {
-		e.cores = append(e.cores, &core{
+		cc := &core{
 			id:          c,
 			socket:      cfg.Spec.SocketOf(c),
 			quantumLeft: cfg.Quantum,
-		})
+		}
+		cc.stepFn = func() {
+			cc.stepQueued = false
+			e.step(cc)
+		}
+		e.cores = append(e.cores, cc)
+	}
+	e.localMCs = make([][]int, cfg.Spec.Sockets)
+	for s := range e.localMCs {
+		e.localMCs[s] = cfg.Spec.LocalMCs(s)
 	}
 	// Active controllers: those local to sockets with at least one active
 	// core, in controller order (the paper's activation order).
 	seen := map[int]bool{}
 	for c := 0; c < cfg.Cores; c++ {
-		for _, mc := range cfg.Spec.LocalMCs(cfg.Spec.SocketOf(c)) {
+		for _, mc := range e.localMCs[cfg.Spec.SocketOf(c)] {
 			if !seen[mc] {
 				seen[mc] = true
 				e.activeMCs = append(e.activeMCs, mc)
@@ -112,6 +132,7 @@ func newEngine(cfg Config, m *machine.Machine, q *eventq.Queue) *engine {
 // addThread registers thread i with stream s, pinning it to core i % Cores.
 func (e *engine) addThread(i int, s trace.Stream) {
 	th := &thread{id: i, stream: s}
+	th.arriveFn = func() { e.arriveBarrier(th.core, th) }
 	e.threads = append(e.threads, th)
 	c := e.cores[i%len(e.cores)]
 	th.core = c
@@ -132,10 +153,7 @@ func (e *engine) scheduleStep(c *core, delay uint64) {
 		return
 	}
 	c.stepQueued = true
-	e.q.After(delay, func() {
-		c.stepQueued = false
-		e.step(c)
-	})
+	e.q.After(delay, c.stepFn)
 }
 
 // currentThread returns the thread the core should attend to, rotating
@@ -196,7 +214,7 @@ func (e *engine) step(c *core) {
 			e.finishedThreads++
 			// A finished thread counts as arrived at every remaining
 			// barrier; waiters may now be releasable.
-			e.q.After(advance, e.recheckBarriers)
+			e.q.After(advance, e.recheckFn)
 			c.rotate(e.cfg.Quantum)
 			break
 		}
@@ -214,7 +232,7 @@ func (e *engine) step(c *core) {
 
 		if ref.Sync {
 			// Barrier: arrive in a dedicated event at now+advance.
-			e.q.After(advance, func() { e.arriveBarrier(c, th) })
+			e.q.After(advance, th.arriveFn)
 			e.chargeQuantum(c, advance)
 			return
 		}
@@ -239,8 +257,10 @@ func (e *engine) step(c *core) {
 		// request's path to memory (it is pipelined, not serialized on the
 		// core): a dependent load pays it inside its block time, while
 		// independent misses overlap it with further execution.
-		addr, dep, traversal := ref.Addr, ref.Dep, res.Latency
-		e.q.After(advance, func() { e.issue(c, th, addr, dep, traversal) })
+		req := e.getReq()
+		req.c, req.th = c, th
+		req.addr, req.dep, req.traversal = ref.Addr, ref.Dep, res.Latency
+		e.q.After(advance, req.issueFn)
 		e.chargeQuantum(c, advance)
 		return
 	}
@@ -348,17 +368,76 @@ func (e *engine) recheckBarriers() {
 	}
 }
 
-// issue attempts to launch an off-chip request, blocking the thread while
-// its MSHRs are full.
-func (e *engine) issue(c *core, th *thread, addr uint64, dep bool, traversal uint64) {
+// Off-chip request pipeline stages, in traversal order. Stages whose
+// hardware is absent (no UMA bus, local access, no link modeling) advance
+// directly without scheduling an event, exactly like the closure chain
+// they replaced.
+const (
+	stBus      = iota // occupy the socket's front-side bus (UMA)
+	stLinkOut         // occupy the socket's interconnect link, outbound
+	stHopOut          // pay the interconnect hop latency, outbound
+	stMC              // queue at the home memory controller
+	stLinkBack        // occupy the link for the returning data payload
+	stHopBack         // pay the hop latency on the way back
+	stDone            // request complete: release MSHR, unblock thread
+)
+
+// memReq is one pooled off-chip request. It carries the request through the
+// memory pipeline as a staged state machine; its three callbacks are built
+// once per object (not per request), which is what makes the dispatch loop
+// allocation-free.
+type memReq struct {
+	e         *engine
+	c         *core
+	th        *thread
+	addr      uint64
+	traversal uint64 // on-chip cache traversal latency riding on the request
+	hopLat    uint64
+	hops      int
+	home      int
+	dep       bool
+	stage     uint8
+	issueFn   func()     // scheduled at issue time; runs e.issueReq(r)
+	advanceFn func()     // scheduled for latency stages; runs r.advance()
+	doneFn    func(bool) // submitted to controllers/buses/links
+}
+
+// getReq returns a request object from the free list, building its
+// callbacks on first allocation.
+func (e *engine) getReq() *memReq {
+	if n := len(e.reqFree); n > 0 {
+		r := e.reqFree[n-1]
+		e.reqFree[n-1] = nil
+		e.reqFree = e.reqFree[:n-1]
+		return r
+	}
+	r := &memReq{e: e}
+	r.issueFn = func() { r.e.issueReq(r) }
+	r.advanceFn = r.advance
+	r.doneFn = func(bool) { r.advance() }
+	return r
+}
+
+// putReq returns a request object to the free list. The caller must not
+// touch r afterwards.
+func (e *engine) putReq(r *memReq) {
+	r.c, r.th = nil, nil
+	e.reqFree = append(e.reqFree, r)
+}
+
+// issueReq attempts to launch an off-chip request, blocking the thread
+// while its MSHRs are full.
+func (e *engine) issueReq(r *memReq) {
+	c, th := r.c, r.th
 	if th.outstanding >= e.cfg.Spec.MSHRs {
 		th.blocked = true
 		th.wantSlot = true
 		th.blockStart = e.q.Now()
-		th.pending = pendingIssue{addr: addr, dep: dep, traversal: traversal}
+		th.pending = r
 		return
 	}
-	e.launch(c, th, addr, dep, traversal)
+	dep := r.dep
+	e.launch(r)
 	if dep {
 		th.blocked = true
 		th.waitDep = true
@@ -368,69 +447,86 @@ func (e *engine) issue(c *core, th *thread, addr uint64, dep bool, traversal uin
 	e.scheduleStep(c, 0)
 }
 
-// launch routes one off-chip request: on-chip cache traversal, optional UMA
-// bus, interconnect hops, memory-controller service, and the return path.
-func (e *engine) launch(c *core, th *thread, addr uint64, dep bool, traversal uint64) {
+// launch routes one off-chip request into the pipeline: on-chip cache
+// traversal, then the staged path through bus, link, interconnect hops,
+// memory-controller service, and the return trip (see the st* stages).
+func (e *engine) launch(r *memReq) {
+	c, th := r.c, r.th
 	th.outstanding++
 	th.st.OffChip++
 	if e.cfg.MissHook != nil {
 		e.cfg.MissHook(e.q.Now(), c.id)
 	}
 
-	home := e.homeMC(addr, c)
-	hops := e.hopsFrom(c.socket, home)
-	if hops > 0 {
+	r.home = e.homeMC(r.addr, c)
+	r.hops = e.hopsFrom(c.socket, r.home)
+	if r.hops > 0 {
 		th.st.Remote++
 	}
-	hopLat := uint64(hops) * e.cfg.Spec.HopLatency
+	r.hopLat = uint64(r.hops) * e.cfg.Spec.HopLatency
+	r.stage = stBus
+	if r.traversal > 0 {
+		e.q.After(r.traversal, r.advanceFn)
+		return
+	}
+	r.advance()
+}
 
-	// link occupies the source socket's interconnect link (if modeled and
-	// the access is remote) and then continues; requests queue when the
-	// link's bandwidth saturates — the QPI/HT effect that makes remote
-	// accesses increasingly costly as more sockets exchange data.
-	link := func(then func()) {
-		if hops == 0 || len(e.m.LinkServers) == 0 {
-			then()
+// advance moves the request to its next pipeline stage. Stages with no
+// modeled hardware fall through immediately; the others hand the request to
+// a queueing server (bus, link, controller) or schedule a fixed latency,
+// and resume here from the prebuilt callback when it elapses.
+func (r *memReq) advance() {
+	e := r.e
+	for {
+		switch r.stage {
+		case stBus:
+			r.stage = stLinkOut
+			if len(e.m.Buses) > 0 {
+				// UMA: the request occupies the socket's front-side bus on
+				// its way to the shared controller.
+				e.m.Buses[r.c.socket].Submit(r.addr, r.doneFn)
+				return
+			}
+		case stLinkOut:
+			r.stage = stHopOut
+			// The link occupies the source socket's interconnect (if modeled
+			// and the access is remote); requests queue when the link's
+			// bandwidth saturates — the QPI/HT effect that makes remote
+			// accesses increasingly costly as more sockets exchange data.
+			if r.hops > 0 && len(e.m.LinkServers) > 0 {
+				e.m.LinkServers[r.c.socket].Submit(r.addr, r.doneFn)
+				return
+			}
+		case stHopOut:
+			r.stage = stMC
+			if r.hopLat > 0 {
+				e.q.After(r.hopLat, r.advanceFn)
+				return
+			}
+		case stMC:
+			r.stage = stLinkBack
+			e.m.MCs[r.home].Submit(r.addr, r.doneFn)
+			return
+		case stLinkBack:
+			r.stage = stHopBack
+			// Return path: link occupancy (the data payload), then hops.
+			if r.hops > 0 && len(e.m.LinkServers) > 0 {
+				e.m.LinkServers[r.c.socket].Submit(r.addr, r.doneFn)
+				return
+			}
+		case stHopBack:
+			r.stage = stDone
+			if r.hopLat > 0 {
+				e.q.After(r.hopLat, r.advanceFn)
+				return
+			}
+		default: // stDone
+			c, th, dep := r.c, r.th, r.dep
+			e.putReq(r)
+			e.complete(c, th, dep)
 			return
 		}
-		e.m.LinkServers[c.socket].Submit(addr, func(bool) { then() })
-	}
-	deliver := func() {
-		e.m.MCs[home].Submit(addr, func(rowHit bool) {
-			done := func() { e.complete(c, th, dep) }
-			// Return path: link occupancy (the data payload), then hops.
-			link(func() {
-				if hopLat > 0 {
-					e.q.After(hopLat, done)
-				} else {
-					done()
-				}
-			})
-		})
-	}
-	// Outbound path: cache traversal, link, then interconnect hops.
-	toMC := func() {
-		link(func() {
-			if hopLat > 0 {
-				e.q.After(hopLat, deliver)
-			} else {
-				deliver()
-			}
-		})
-	}
-	viaBus := func() {
-		if len(e.m.Buses) > 0 {
-			// UMA: the request occupies the socket's front-side bus on its
-			// way to the shared controller.
-			e.m.Buses[c.socket].Submit(addr, func(bool) { toMC() })
-		} else {
-			toMC()
-		}
-	}
-	if traversal > 0 {
-		e.q.After(traversal, viaBus)
-	} else {
-		viaBus()
 	}
 }
 
@@ -446,8 +542,9 @@ func (e *engine) complete(c *core, th *thread, wasDep bool) {
 		e.scheduleStep(c, 0)
 	case th.wantSlot:
 		pend := th.pending
+		th.pending = nil
 		e.unblock(c, th)
-		e.issue(c, th, pend.addr, pend.dep, pend.traversal)
+		e.issueReq(pend)
 	}
 }
 
@@ -474,7 +571,7 @@ func (e *engine) homeMC(addr uint64, c *core) int {
 		home = e.activeMCs[e.interleaveRR%len(e.activeMCs)]
 		e.interleaveRR++
 	default: // FirstTouch
-		local := e.cfg.Spec.LocalMCs(c.socket)
+		local := e.localMCs[c.socket]
 		home = local[e.firstTouchRR[c.socket]%len(local)]
 		e.firstTouchRR[c.socket]++
 	}
@@ -486,7 +583,7 @@ func (e *engine) homeMC(addr uint64, c *core) int {
 // the minimum hops from any of the socket's local controllers.
 func (e *engine) hopsFrom(socket, mc int) int {
 	best := -1
-	for _, lmc := range e.cfg.Spec.LocalMCs(socket) {
+	for _, lmc := range e.localMCs[socket] {
 		h := e.m.Topo.Hops(lmc, mc)
 		if best < 0 || h < best {
 			best = h
@@ -505,6 +602,7 @@ func (e *engine) result() Result {
 		Threads:     e.cfg.Threads,
 		Cores:       e.cfg.Cores,
 		Makespan:    e.q.Now(),
+		Events:      e.q.Dispatched(),
 	}
 	for _, th := range e.threads {
 		if !th.finished {

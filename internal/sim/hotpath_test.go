@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/eventq"
+	"repro/internal/trace"
+)
+
+// randomStreams builds seeded reference streams with a mix of dependent and
+// independent loads, stores, hits and misses, plus occasional barriers —
+// every scheduling path the engine has.
+func randomStreams(seed int64, threads, refsEach int) []trace.Stream {
+	rng := rand.New(rand.NewSource(seed))
+	streams := make([]trace.Stream, threads)
+	for t := 0; t < threads; t++ {
+		refs := make([]trace.Ref, 0, refsEach)
+		base := uint64(t) << 30
+		for i := 0; i < refsEach; i++ {
+			switch rng.Intn(20) {
+			case 0:
+				refs = append(refs, trace.Ref{Sync: true, Work: uint32(rng.Intn(50))})
+			default:
+				ref := trace.Ref{
+					Addr: base + uint64(rng.Intn(1<<16))*64,
+					Work: uint32(rng.Intn(8)),
+					Dep:  rng.Intn(3) == 0,
+				}
+				if rng.Intn(4) == 0 {
+					ref.Kind = trace.Store
+				}
+				if rng.Intn(3) == 0 {
+					// Far address: likely an off-chip miss.
+					ref.Addr = base + uint64(rng.Intn(1<<24))*4096
+				}
+				refs = append(refs, ref)
+			}
+		}
+		streams[t] = trace.FromSlice(refs)
+	}
+	return streams
+}
+
+// TestCalendarHeapIdenticalResults is the engine-level differential test:
+// the full Result (every counter, per-thread and per-controller) must be
+// identical whichever event-queue backend dispatched the run.
+func TestCalendarHeapIdenticalResults(t *testing.T) {
+	for _, spec := range []struct {
+		name string
+		mk   func() Config
+	}{
+		{"numa", func() Config { return Config{Spec: testSpec(), Threads: 4, Cores: 4} }},
+		{"uma-bus", func() Config { return Config{Spec: umaSpec(), Threads: 4, Cores: 2} }},
+		{"oversubscribed", func() Config { return Config{Spec: testSpec(), Threads: 8, Cores: 2, Quantum: 500} }},
+		{"interleave", func() Config { return Config{Spec: testSpec(), Threads: 4, Cores: 4, Placement: Interleave} }},
+	} {
+		t.Run(spec.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				cal := spec.mk()
+				cal.EventQueue = eventq.Calendar
+				resCal, err := Run(cal, randomStreams(seed, cal.Threads, 3000))
+				if err != nil {
+					t.Fatal(err)
+				}
+				hp := spec.mk()
+				hp.EventQueue = eventq.Heap
+				resHeap, err := Run(hp, randomStreams(seed, hp.Threads, 3000))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(resCal, resHeap) {
+					t.Fatalf("seed %d: calendar and heap results diverge:\ncalendar: %+v\nheap:     %+v",
+						seed, resCal, resHeap)
+				}
+			}
+		})
+	}
+}
+
+// TestDispatchLoopAllocationBound pins the zero-alloc contract end to end:
+// the marginal cost of simulating more references must be allocation-free.
+// Fixed per-run setup (engine, machine, pools, page tables) is measured by
+// a small run and subtracted; the extra references of a 16x larger run may
+// not add more than a page-table's worth of allocations.
+func TestDispatchLoopAllocationBound(t *testing.T) {
+	spec := testSpec()
+	measure := func(refs int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			if _, err := Run(Config{Spec: spec, Threads: 4, Cores: 4},
+				randomStreams(7, 4, refs)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := measure(2000)
+	large := measure(32000)
+	extraRefs := 4 * (32000 - 2000)
+	perRef := (large - small) / float64(extraRefs)
+	// The only allowed growth is the first-touch page map (one entry per
+	// distinct page, amortized across refs) — well under 0.1 allocs/ref.
+	// The pre-overhaul engine allocated >3 per off-chip reference.
+	if perRef > 0.1 {
+		t.Errorf("dispatch loop allocates %.3f objects per reference (small run %.0f, large run %.0f), want ~0",
+			perRef, small, large)
+	}
+}
+
+// TestEventsCounter checks Result.Events reports the dispatched event count.
+func TestEventsCounter(t *testing.T) {
+	res, err := Run(Config{Spec: testSpec(), Threads: 2, Cores: 2}, memBoundStreams(2, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 {
+		t.Error("Events = 0, want the dispatched event count")
+	}
+	// Every off-chip request takes at least one event (issue), and the run
+	// had 200 of them plus per-core steps.
+	if res.Events < res.OffChipRequests {
+		t.Errorf("Events = %d < OffChipRequests = %d", res.Events, res.OffChipRequests)
+	}
+}

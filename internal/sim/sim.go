@@ -94,6 +94,12 @@ type Config struct {
 	// synthetically (see internal/workload), which stays accurate without
 	// the directory's memory overhead.
 	Coherence bool
+	// EventQueue selects the discrete-event queue implementation. The
+	// default (eventq.Calendar) is the fast bucket queue; eventq.Heap is
+	// the binary-heap oracle used by differential and golden tests. Both
+	// dispatch events in the identical deterministic order, so results do
+	// not depend on this choice.
+	EventQueue eventq.Kind
 }
 
 // ThreadStats are the per-thread counters.
@@ -158,6 +164,10 @@ type Result struct {
 	Invalidations uint64
 	// Makespan is the wall-clock simulated duration in cycles.
 	Makespan uint64
+	// Events is the number of discrete events the queue dispatched during
+	// the run — the denominator-free throughput unit benchmark harnesses
+	// report as simulated-events/sec.
+	Events uint64
 	// PerThread has one entry per thread.
 	PerThread []ThreadStats
 	// MCStats has one entry per memory controller.
@@ -196,12 +206,12 @@ func Run(cfg Config, streams []trace.Stream) (Result, error) {
 		return Result{}, fmt.Errorf("%w: %d streams for %d threads", ErrBadConfig, len(streams), cfg.Threads)
 	}
 
-	var q eventq.Queue
-	m, err := machine.Build(cfg.Spec, &q)
+	q := eventq.New(cfg.EventQueue)
+	m, err := machine.Build(cfg.Spec, q)
 	if err != nil {
 		return Result{}, err
 	}
-	e := newEngine(cfg, m, &q)
+	e := newEngine(cfg, m, q)
 	for i, s := range streams {
 		e.addThread(i, s)
 	}
