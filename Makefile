@@ -31,8 +31,13 @@ race:
 ## any benchmark regressed >20% ns/op against the committed baseline (fresh
 ## numbers land in BENCH.json.new for inspection). Run on an otherwise idle
 ## machine; re-baseline deliberately with `go run ./cmd/bench -out BENCH.json`.
+## Provenance stamped into BENCH.json (the gate ignores these fields).
+GIT_REV   ?= $(shell git rev-parse --short HEAD 2>/dev/null)
+TIMESTAMP ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
+
 bench:
-	$(GO) run ./cmd/bench -baseline BENCH.json -out BENCH.json
+	$(GO) run ./cmd/bench -baseline BENCH.json -out BENCH.json \
+		-git-rev "$(GIT_REV)" -timestamp "$(TIMESTAMP)"
 
 ## microbench: every go-test benchmark (per-artifact experiments, eventq,
 ## memctrl, runner scaling) with allocation stats.

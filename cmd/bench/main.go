@@ -26,6 +26,7 @@ import (
 	"repro/internal/eventq"
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -39,12 +40,18 @@ type Entry struct {
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
-// Report is the BENCH.json schema.
+// Report is the BENCH.json schema. Timestamp and GitRev are provenance
+// passed in by the caller (see the Makefile bench target) — never sampled
+// inside the tool, so a re-run of identical code produces an identical
+// report modulo timings; the regression gate compares Benchmarks only and
+// ignores provenance.
 type Report struct {
 	GoVersion  string  `json:"go_version"`
 	GoOS       string  `json:"goos"`
 	GoArch     string  `json:"goarch"`
 	MaxProcs   int     `json:"maxprocs"`
+	Timestamp  string  `json:"timestamp,omitempty"`
+	GitRev     string  `json:"git_rev,omitempty"`
 	Benchmarks []Entry `json:"benchmarks"`
 }
 
@@ -54,10 +61,33 @@ func main() {
 		baseline  = flag.String("baseline", "", "previous BENCH.json to gate against (empty = no gate)")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression vs baseline")
 		repeat    = flag.Int("repeat", 3, "runs per benchmark; the fastest is kept (noise only adds time)")
+		timestamp = flag.String("timestamp", "", "provenance: when this run happened (recorded verbatim)")
+		gitRev    = flag.String("git-rev", "", "provenance: source revision benchmarked (recorded verbatim)")
+		traceOut  = flag.String("trace-out", "", "write NDJSON runner.span events from the sweep benchmarks to this file")
+		debug     = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while benchmarking")
 	)
 	flag.Parse()
 	if *repeat < 1 {
 		*repeat = 1
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		benchTracer = telemetry.NewTracer(f)
+	}
+	if *debug != "" {
+		benchMetrics = telemetry.NewRegistry()
+		addr, stop, err := telemetry.StartDebugServer(*debug, benchMetrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "bench: debug server listening on %s\n", addr)
 	}
 
 	rep := Report{
@@ -65,6 +95,8 @@ func main() {
 		GoOS:      runtime.GOOS,
 		GoArch:    runtime.GOARCH,
 		MaxProcs:  runtime.GOMAXPROCS(0),
+		Timestamp: *timestamp,
+		GitRev:    *gitRev,
 	}
 	for _, bm := range benchmarks() {
 		fmt.Fprintf(os.Stderr, "bench: running %s...\n", bm.name)
@@ -154,6 +186,13 @@ type namedBench struct {
 	fn   func(b *testing.B)
 }
 
+// benchTracer and benchMetrics, when set by -trace-out / -debug-addr, are
+// attached to every Runner the sweep benchmarks create.
+var (
+	benchTracer  *telemetry.Tracer
+	benchMetrics *telemetry.Registry
+)
+
 // benchmarks lists the tracked set: one end-to-end sweep per machine
 // preset (the larger NUMA machines at reduced scale and coarse core
 // counts so the whole suite stays under a minute per preset) plus the
@@ -181,6 +220,8 @@ func fullRun(spec machine.Spec, scale float64, step int) func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			r := experiments.NewRunner(workload.Tuning{RefScale: scale})
+			r.Tracer = benchTracer
+			r.Metrics = benchMetrics
 			if _, err := r.Fig3(spec, counts); err != nil {
 				b.Fatal(err)
 			}

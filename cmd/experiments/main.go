@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -39,6 +40,8 @@ func main() {
 		step     = flag.Int("step", 1, "core-count step for figure sweeps (1 = every count)")
 		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS); results are identical at any setting")
 		verbose  = flag.Bool("v", false, "log each simulation run with progress counter and timing")
+		traceOut = flag.String("trace-out", "", "write one NDJSON runner.span per served run (sim|dedup|cache) to this file")
+		debug    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	)
 	flag.Parse()
 
@@ -51,6 +54,25 @@ func main() {
 	r.Jobs = *jobs
 	if *verbose {
 		r.Progress = os.Stderr
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r.Tracer = telemetry.NewTracer(f)
+	}
+	if *debug != "" {
+		r.Metrics = telemetry.NewRegistry()
+		addr, stop, err := telemetry.StartDebugServer(*debug, r.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "debug server listening on %s\n", addr)
 	}
 	if *cacheArg != "" {
 		n, err := r.LoadCache(*cacheArg)

@@ -6,17 +6,27 @@
 //
 //	memsim -machine IntelNUMA24 -program CG -class C -cores 12
 //	memsim -machine AMDNUMA48 -program SP -class C -cores 48 -placement interleave
+//	memsim -machine IntelUMA8 -program CG -class W -telemetry out/
+//
+// With -telemetry DIR the run is observed by the in-simulator sampler and
+// three artifacts land in DIR: memsim.trace.ndjson (structured run
+// events), memsim.timeline.dat (sampled utilization/occupancy time
+// series, gnuplot-ready) and memsim.metrics.prom (Prometheus text
+// snapshot); an ASCII utilization chart is printed after the counters.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/counters"
+	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -31,6 +41,8 @@ func main() {
 		placement = flag.String("placement", "first-touch", "NUMA page placement: first-touch|interleave")
 		perThread = flag.Bool("per-thread", false, "also print per-thread counters")
 		coherence = flag.Bool("coherence", false, "enable the MESI-style invalidation directory")
+		telemDir  = flag.String("telemetry", "", "observe the run and write trace/timeline/metrics artifacts into this directory")
+		interval  = flag.Uint64("sample-interval", 0, "telemetry sampling period in cycles (0 = 5us at the machine clock)")
 	)
 	flag.Parse()
 
@@ -67,6 +79,24 @@ func main() {
 		cfg.Cores = spec.TotalCores()
 	}
 
+	var reg *telemetry.Registry
+	if *telemDir != "" {
+		if err := os.MkdirAll(*telemDir, 0o755); err != nil {
+			fatal(err)
+		}
+		traceFile, err := os.Create(filepath.Join(*telemDir, "memsim.trace.ndjson"))
+		if err != nil {
+			fatal(err)
+		}
+		defer traceFile.Close()
+		reg = telemetry.NewRegistry()
+		cfg.Observe = &sim.ObserveConfig{
+			Interval: *interval,
+			Tracer:   telemetry.NewTracer(traceFile),
+			Registry: reg,
+		}
+	}
+
 	res, err := sim.Run(cfg, wl.Streams(nThreads))
 	if err != nil {
 		fatal(err)
@@ -90,6 +120,19 @@ func main() {
 	}
 	for i, b := range res.BusStats {
 		fmt.Printf("bus%-1d requests %10d  avg wait %7.1f\n", i, b.Requests, b.AvgWait())
+	}
+
+	if *telemDir != "" {
+		files, err := experiments.WriteTelemetryArtifacts(*telemDir, "memsim", res.Telemetry, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n# telemetry: %d samples every %d cycles\n",
+			res.Telemetry.InFlight.Len(), res.Telemetry.Interval)
+		for _, f := range files {
+			fmt.Printf("# wrote %s\n", f)
+		}
+		experiments.UtilizationChart(res.Telemetry, "off-chip utilization").Render(os.Stdout)
 	}
 
 	if *perThread {

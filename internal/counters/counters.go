@@ -141,6 +141,17 @@ func (a *Accumulator) Read(e Event) uint64 {
 	return 0
 }
 
+// Merge folds another accumulator's totals and run count into a, so
+// per-worker accumulators built concurrently can be combined after a
+// parallel sweep. Merging the zero value is a no-op; merge order never
+// changes the totals (uint64 addition is commutative and associative).
+func (a *Accumulator) Merge(b *Accumulator) {
+	for i := range a.v {
+		a.v[i] += b.v[i]
+	}
+	a.n += b.n
+}
+
 // Runs returns how many results/snapshots were folded in.
 func (a *Accumulator) Runs() uint64 { return a.n }
 

@@ -107,6 +107,55 @@ func TestAccumulatorThreads(t *testing.T) {
 	}
 }
 
+// TestAccumulatorMerge pins the merge semantics: splitting a workload
+// across accumulators and merging equals accumulating serially, merge
+// order does not matter, and merging the zero value is a no-op.
+func TestAccumulatorMerge(t *testing.T) {
+	results := []sim.Result{
+		{TotalCycles: 1000, WorkCycles: 600, StallCycles: 400, MemStallCycles: 300,
+			Instructions: 900, LLCMisses: 42, RemoteRequests: 7},
+		{TotalCycles: 500, WorkCycles: 200, StallCycles: 300, MemStallCycles: 100,
+			Instructions: 450, LLCMisses: 11, RemoteRequests: 3},
+		{TotalCycles: 250, WorkCycles: 100, StallCycles: 150, MemStallCycles: 50,
+			Instructions: 225, LLCMisses: 5, RemoteRequests: 1},
+	}
+	var serial Accumulator
+	for _, r := range results {
+		serial.AddResult(r)
+	}
+
+	// Workers 0 and 1 split the results; merge in both orders.
+	var w0, w1 Accumulator
+	w0.AddResult(results[0])
+	w1.AddResult(results[1])
+	w1.AddResult(results[2])
+	forward, backward := w0, w1
+	forward.Merge(&w1)
+	backward.Merge(&w0)
+	for _, m := range []*Accumulator{&forward, &backward} {
+		if m.Runs() != serial.Runs() {
+			t.Errorf("merged runs = %d, want %d", m.Runs(), serial.Runs())
+		}
+		for _, e := range byIndex {
+			if m.Read(e) != serial.Read(e) {
+				t.Errorf("merged %s = %d, want %d", e, m.Read(e), serial.Read(e))
+			}
+		}
+	}
+
+	// Merging an empty accumulator changes nothing, in either direction.
+	var zero Accumulator
+	merged := serial
+	merged.Merge(&zero)
+	if merged != serial {
+		t.Error("merging the zero value changed the accumulator")
+	}
+	zero.Merge(&serial)
+	if zero != serial {
+		t.Error("merging into the zero value should copy the totals")
+	}
+}
+
 // TestAccumulatorZeroAlloc pins the batching contract: folding results in
 // does not allocate (the Set materialization at the end is the only map).
 func TestAccumulatorZeroAlloc(t *testing.T) {

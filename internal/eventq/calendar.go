@@ -34,6 +34,12 @@ type Queue struct {
 	// the larger backing (and each bucket's event capacity) makes grow/shrink
 	// cycles allocation-free once the queue has seen its peak population.
 	store []bucket
+	// OnResize, when non-nil, is invoked after every calendar resize with
+	// the new bucket count, the re-derived bucket width and the pending
+	// population. Resizes are rare (they track the population high-water
+	// mark), so the hook costs one nil check on a cold path; the telemetry
+	// tracer uses it to log queue reshapes during long sweeps.
+	OnResize func(buckets int, width uint64, pending int)
 }
 
 // bucket is one calendar day: a sorted slice with a consumed-head index so
@@ -140,6 +146,9 @@ func (q *Queue) resize(newSize int) {
 	// Drop callback references left in the staging slice.
 	for i := range all {
 		all[i] = event{}
+	}
+	if q.OnResize != nil {
+		q.OnResize(newSize, q.width, q.n)
 	}
 }
 

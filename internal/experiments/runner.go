@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -25,8 +26,10 @@ import (
 type Runner struct {
 	// Tuning scales workload iteration counts (1.0 for full fidelity).
 	Tuning workload.Tuning
-	// Progress, when non-nil, receives one line per executed run with a
-	// completed/submitted counter and the run's wall-clock duration.
+	// Progress, when non-nil, receives one line per served run with a
+	// completed/submitted counter, an outcome annotation — [sim] for a
+	// fresh simulation, [dedup] for a singleflight-coalesced wait, [cache]
+	// for a cache hit — and, for sim and dedup, the wall-clock duration.
 	// Writes are serialized by the Runner; the writer itself need not be
 	// goroutine-safe.
 	Progress io.Writer
@@ -34,6 +37,14 @@ type Runner struct {
 	// Zero or negative means runtime.GOMAXPROCS(0). Set it before the
 	// first run; later changes are ignored.
 	Jobs int
+	// Tracer, when non-nil, receives one "runner.span" event per served
+	// run, splitting wall-clock time into worker-queue wait and execute
+	// time and carrying the same sim|dedup|cache outcome as Progress.
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, counts served runs by outcome
+	// (runner_sim_total, runner_dedup_total, runner_cache_total) and
+	// feeds the runner_execute_ms histogram.
+	Metrics *telemetry.Registry
 
 	mu       sync.Mutex
 	cache    map[runKey]sim.Result
@@ -109,13 +120,18 @@ func (r *Runner) Run(spec machine.Spec, program string, class workload.Class, co
 	r.mu.Lock()
 	if res, ok := r.cache[key]; ok {
 		r.mu.Unlock()
+		r.report(outcomeCache, spec, program, class, cores, 0, 0, res)
 		return res, nil
 	}
 	if fl, ok := r.inflight[key]; ok {
 		// Another goroutine is already simulating this key: wait for it
 		// rather than duplicating the run or blocking the whole cache.
 		r.mu.Unlock()
+		start := time.Now()
 		<-fl.done
+		if fl.err == nil {
+			r.report(outcomeDedup, spec, program, class, cores, time.Since(start), 0, fl.res)
+		}
 		return fl.res, fl.err
 	}
 	fl := &inflightRun{done: make(chan struct{})}
@@ -137,12 +153,21 @@ func (r *Runner) Run(spec machine.Spec, program string, class workload.Class, co
 	return fl.res, fl.err
 }
 
+// Run outcome annotations for Progress lines, tracer spans and metrics.
+const (
+	outcomeSim   = "sim"   // fresh simulation executed by this call
+	outcomeDedup = "dedup" // waited on another caller's in-flight run
+	outcomeCache = "cache" // served from the in-memory result cache
+)
+
 // execute performs one simulation under the worker-pool bound and reports
 // progress.
 func (r *Runner) execute(spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
+	enqueued := time.Now()
 	sem := r.workers()
 	sem <- struct{}{}
 	defer func() { <-sem }()
+	queueWait := time.Since(enqueued)
 
 	r.progMu.Lock()
 	r.submitted++
@@ -157,13 +182,47 @@ func (r *Runner) execute(spec machine.Spec, program string, class workload.Class
 
 	r.progMu.Lock()
 	r.completed++
-	if r.Progress != nil && err == nil {
-		fmt.Fprintf(r.Progress, "[%d/%d] run %s %s.%s n=%d: C=%d misses=%d (%.0fms)\n",
-			r.completed, r.submitted, spec.Name, program, class, cores,
-			res.TotalCycles, res.LLCMisses, float64(time.Since(start).Microseconds())/1000)
-	}
 	r.progMu.Unlock()
+	if err == nil {
+		r.report(outcomeSim, spec, program, class, cores, queueWait, time.Since(start), res)
+	}
 	return res, err
+}
+
+// report fans one served run out to the optional sinks: a Progress line
+// annotated with the outcome, a "runner.span" tracer event splitting
+// worker-queue wait from execute time, and outcome counters plus an
+// execute-time histogram on Metrics. For dedup the wait parameter is the
+// time spent blocked on the coalesced run; cache hits carry no timings.
+func (r *Runner) report(outcome string, spec machine.Spec, program string, class workload.Class, cores int, wait, exec time.Duration, res sim.Result) {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	if r.Metrics != nil {
+		r.Metrics.Counter("runner_" + outcome + "_total").Inc()
+		if outcome == outcomeSim {
+			r.Metrics.Histogram("runner_execute_ms", 1, 10, 100, 1000, 10000).Observe(ms(exec))
+		}
+	}
+	if r.Tracer.Enabled() {
+		r.Tracer.Emit("runner.span",
+			"machine", spec.Name, "program", program, "class", string(class),
+			"cores", cores, "outcome", outcome,
+			"queue_wait_ms", ms(wait), "execute_ms", ms(exec))
+	}
+
+	r.progMu.Lock()
+	defer r.progMu.Unlock()
+	if r.Progress == nil {
+		return
+	}
+	if outcome == outcomeCache {
+		fmt.Fprintf(r.Progress, "[%d/%d] run %s %s.%s n=%d [cache]: C=%d misses=%d\n",
+			r.completed, r.submitted, spec.Name, program, class, cores,
+			res.TotalCycles, res.LLCMisses)
+		return
+	}
+	fmt.Fprintf(r.Progress, "[%d/%d] run %s %s.%s n=%d [%s]: C=%d misses=%d (%.0fms)\n",
+		r.completed, r.submitted, spec.Name, program, class, cores, outcome,
+		res.TotalCycles, res.LLCMisses, ms(wait+exec))
 }
 
 // simulateRun is the real simulation backend of Run.

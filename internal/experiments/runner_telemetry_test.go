@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// TestRunOutcomeAnnotations checks that Progress lines carry the
+// sim|dedup|cache outcome, that each served run emits a runner.span trace
+// event with the same outcome, and that the Metrics registry counts them.
+func TestRunOutcomeAnnotations(t *testing.T) {
+	r := NewRunner(quickTune)
+	r.Jobs = 2
+	countingSim(r, 20*time.Millisecond)
+	var buf, traceBuf bytes.Buffer
+	r.Progress = &buf
+	r.Tracer = telemetry.NewTracer(&traceBuf)
+	r.Metrics = telemetry.NewRegistry()
+	spec := machine.IntelUMA8()
+
+	// First call executes; a concurrent duplicate keyed the same coalesces
+	// onto it (dedup); a call after completion is a cache hit.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := r.Run(spec, "CG", workload.W, 2); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitFor(t, func() bool {
+		_, submitted := r.Completed()
+		return submitted == 1
+	})
+	if _, err := r.Run(spec, "CG", workload.W, 2); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if _, err := r.Run(spec, "CG", workload.W, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	for _, want := range []string{"[sim]", "[dedup]", "[cache]"} {
+		if strings.Count(out, want) != 1 {
+			t.Errorf("progress output has %d %q lines, want 1:\n%s",
+				strings.Count(out, want), want, out)
+		}
+	}
+
+	byOutcome := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(traceBuf.String()), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if ev["event"] != "runner.span" || ev["machine"] != "IntelUMA8" {
+			t.Errorf("unexpected trace event: %v", ev)
+		}
+		byOutcome[ev["outcome"].(string)]++
+		if ev["outcome"] == "sim" && ev["execute_ms"].(float64) <= 0 {
+			t.Errorf("sim span has no execute time: %v", ev)
+		}
+	}
+	if byOutcome["sim"] != 1 || byOutcome["dedup"] != 1 || byOutcome["cache"] != 1 {
+		t.Errorf("span outcomes = %v, want one of each", byOutcome)
+	}
+
+	snap := r.Metrics.Snapshot()
+	for _, name := range []string{"runner_sim_total", "runner_dedup_total", "runner_cache_total"} {
+		if snap[name] != 1 {
+			t.Errorf("%s = %v, want 1", name, snap[name])
+		}
+	}
+	if snap["runner_execute_ms_count"] != 1 {
+		t.Errorf("runner_execute_ms_count = %v, want 1", snap["runner_execute_ms_count"])
+	}
+}
+
+// TestTelemetryDeterministicAcrossJobs pins the observability half of the
+// runner's determinism contract: observed runs launched concurrently
+// produce byte-identical sampled time series whether one or eight
+// simulations execute at once.
+func TestTelemetryDeterministicAcrossJobs(t *testing.T) {
+	spec := machine.IntelUMA8()
+	timelines := func(jobs int) string {
+		r := NewRunner(workload.Tuning{RefScale: 0.02})
+		r.Jobs = jobs
+		bufs := make([]bytes.Buffer, 4)
+		var wg sync.WaitGroup
+		for i := range bufs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cfg := sim.Config{Spec: spec, Cores: 2 * (i + 1),
+					Observe: &sim.ObserveConfig{Interval: 2000}}
+				res, err := r.RunConfig(cfg, "CG", workload.W)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := telemetry.WriteTimelineDat(&bufs[i], res.Telemetry.Series()...); err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		var all strings.Builder
+		for i := range bufs {
+			all.Write(bufs[i].Bytes())
+		}
+		return all.String()
+	}
+	serial := timelines(1)
+	parallel := timelines(8)
+	if serial == "" || serial != parallel {
+		t.Errorf("sampled time series differ between -jobs 1 and -jobs 8:\nserial %d bytes, parallel %d bytes",
+			len(serial), len(parallel))
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/viz"
+)
+
+// WriteTelemetryArtifacts writes the observability artifacts of one
+// observed run into dir: <name>.timeline.dat, the sampled time series as
+// one gnuplot-ready table (column order per RunTelemetry.Series), and
+// <name>.metrics.prom, a Prometheus text-format snapshot of reg. Either
+// input may be nil to skip its artifact. It returns the paths written.
+func WriteTelemetryArtifacts(dir, name string, rt *sim.RunTelemetry, reg *telemetry.Registry) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var files []string
+	if rt != nil {
+		path := filepath.Join(dir, name+".timeline.dat")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		err = telemetry.WriteTimelineDat(f, rt.Series()...)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("telemetry timeline %s: %w", path, err)
+		}
+		files = append(files, path)
+	}
+	if reg != nil {
+		path := filepath.Join(dir, name+".metrics.prom")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		err = reg.WritePrometheus(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("telemetry metrics %s: %w", path, err)
+		}
+		files = append(files, path)
+	}
+	return files, nil
+}
+
+// UtilizationChart renders the per-controller utilization time series of
+// one observed run as an ASCII chart (cycles on x, utilization on y) — the
+// terminal-friendly view of the .dat timeline.
+func UtilizationChart(rt *sim.RunTelemetry, title string) *viz.Chart {
+	ch := &viz.Chart{Title: title, XLabel: "cycles", YLabel: "util"}
+	for _, s := range rt.MCUtil {
+		x, y := s.XY()
+		ch.Add(viz.Series{Name: s.Name, X: x, Y: y})
+	}
+	for _, s := range rt.BusUtil {
+		x, y := s.XY()
+		ch.Add(viz.Series{Name: s.Name, X: x, Y: y})
+	}
+	return ch
+}

@@ -266,6 +266,26 @@ func (c *Controller) QueueLen() int {
 	return n
 }
 
+// BusyChannels returns the number of channels currently serving a request.
+func (c *Controller) BusyChannels() int {
+	n := 0
+	for i := range c.chans {
+		if c.chans[i].busy {
+			n++
+		}
+	}
+	return n
+}
+
+// Occupancy returns the instantaneous number of requests in the system —
+// queued plus in service — the quantity the telemetry sampler records and
+// the M/M/1 model predicts as rho/(1-rho) in steady state.
+func (c *Controller) Occupancy() int { return c.QueueLen() + c.BusyChannels() }
+
+// ChannelQueueLen returns the queued (not in-service) request count of one
+// channel, for per-channel queue-depth telemetry.
+func (c *Controller) ChannelQueueLen(ch int) int { return c.chans[ch].q.len() }
+
 // route returns the channel index for addr.
 func (c *Controller) route(addr uint64) int {
 	return int((addr / c.cfg.LineBytes) % uint64(c.cfg.Channels))

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestTelemetrySampling checks the sampler's basic geometry: every series
+// shares one sample clock at the configured interval, utilizations stay in
+// range, and a memory-bound run shows real occupancy.
+func TestTelemetrySampling(t *testing.T) {
+	cfg := Config{
+		Spec: testSpec(), Threads: 4, Cores: 4,
+		Observe: &ObserveConfig{Interval: 500},
+	}
+	res, err := Run(cfg, memBoundStreams(4, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := res.Telemetry
+	if rt == nil {
+		t.Fatal("Result.Telemetry nil with Observe set")
+	}
+	if rt.Interval != 500 {
+		t.Errorf("interval = %d, want 500", rt.Interval)
+	}
+	series := rt.Series()
+	// test2x2: 1 inflight + 2 MC occupancy + 2 MC util + 4 core stall.
+	if len(series) != 9 {
+		t.Fatalf("series count = %d, want 9", len(series))
+	}
+	n := rt.InFlight.Len()
+	if n < 10 {
+		t.Fatalf("only %d samples for a %d-cycle run", n, res.Makespan)
+	}
+	for _, s := range series {
+		if s.Len() != n {
+			t.Errorf("series %s has %d samples, want %d", s.Name, s.Len(), n)
+		}
+	}
+	for i, tm := range rt.InFlight.T {
+		if want := uint64(i+1) * 500; tm != want {
+			t.Fatalf("sample %d at t=%d, want %d", i, tm, want)
+		}
+	}
+	// Window utilization books busy time at service start, so a saturated
+	// window may exceed 1 by at most service/interval (60/500 here); the
+	// long-run mean must still be a true utilization.
+	for _, s := range rt.MCUtil {
+		for i, v := range s.V {
+			if v < 0 || v > 1.12 {
+				t.Errorf("%s[%d] = %v, want within [0, 1+60/500]", s.Name, i, v)
+			}
+		}
+		if m := s.Mean(); m > 1.001 {
+			t.Errorf("%s mean = %v, want <= 1", s.Name, m)
+		}
+	}
+	// Dependent-load streams keep requests in flight: the mean occupancy
+	// over both controllers must be visibly non-zero.
+	if occ := rt.MCOccupancy[0].Mean() + rt.MCOccupancy[1].Mean(); occ <= 0 {
+		t.Errorf("mean MC occupancy = %v, want > 0 for a memory-bound run", occ)
+	}
+	// A memory-bound dependent-load run stalls its cores most of the time.
+	if frac := rt.CoreStallFrac[0].Mean(); frac < 0.5 {
+		t.Errorf("core0 mean stall fraction = %v, want >= 0.5", frac)
+	}
+}
+
+// TestTelemetryDoesNotPerturb pins the observer's read-only contract:
+// every counter of an observed run equals the unobserved run's (only
+// Events grows, by exactly the dispatched sample count, and Telemetry is
+// attached).
+func TestTelemetryDoesNotPerturb(t *testing.T) {
+	mk := func(obs *ObserveConfig) Result {
+		res, err := Run(Config{Spec: testSpec(), Threads: 4, Cores: 4, Observe: obs},
+			randomStreams(3, 4, 3000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := mk(nil)
+	observed := mk(&ObserveConfig{Interval: 777})
+	// Every recorded sample plus the one terminal (unrecorded) tick is a
+	// dispatched event; nothing else may change.
+	samples := uint64(observed.Telemetry.InFlight.Len())
+	if observed.Events != plain.Events+samples+1 {
+		t.Errorf("Events = %d, want %d + %d samples + 1 terminal tick",
+			observed.Events, plain.Events, samples)
+	}
+	observed.Events = plain.Events
+	observed.Telemetry = nil
+	if !reflect.DeepEqual(plain, observed) {
+		t.Errorf("observation perturbed the run:\nplain:    %+v\nobserved: %+v", plain, observed)
+	}
+}
+
+// TestTelemetryUMABusSeries checks bus utilization series appear on UMA
+// machines.
+func TestTelemetryUMABusSeries(t *testing.T) {
+	res, err := Run(Config{Spec: umaSpec(), Threads: 4, Cores: 4,
+		Observe: &ObserveConfig{Interval: 500}}, memBoundStreams(4, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := res.Telemetry
+	if len(rt.BusUtil) != 2 {
+		t.Fatalf("bus series = %d, want 2 (one per socket)", len(rt.BusUtil))
+	}
+	if rt.BusUtil[0].Mean() <= 0 {
+		t.Error("socket-0 bus never utilized in a memory-bound run")
+	}
+}
+
+// TestTelemetryTraceEvents checks the run-lifecycle NDJSON: run.start and
+// run.end frame the run with deterministic attributes.
+func TestTelemetryTraceEvents(t *testing.T) {
+	emit := func() string {
+		var buf bytes.Buffer
+		_, err := Run(Config{Spec: testSpec(), Threads: 2, Cores: 2,
+			Observe: &ObserveConfig{Interval: 1000, Tracer: telemetry.NewTracer(&buf)}},
+			memBoundStreams(2, 200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := emit()
+	if out != emit() {
+		t.Fatal("trace output not deterministic across identical runs")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var first, last map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if first["event"] != "run.start" || first["machine"] != "test2x2" {
+		t.Errorf("first event = %v, want run.start on test2x2", first)
+	}
+	if last["event"] != "run.end" || last["offchip"].(float64) != 400 {
+		t.Errorf("last event = %v, want run.end with offchip=400", last)
+	}
+}
+
+// TestTelemetryRegistry checks the live registry handles update during a
+// run.
+func TestTelemetryRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	res, err := Run(Config{Spec: testSpec(), Threads: 2, Cores: 2,
+		Observe: &ObserveConfig{Interval: 500, Registry: reg}},
+		memBoundStreams(2, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(res.Telemetry.InFlight.Len())
+	if got := reg.Counter("sim_samples_total").Value(); got != want {
+		t.Errorf("sim_samples_total = %d, want %d", got, want)
+	}
+	if _, ok := reg.Snapshot()["sim_mc0_util"]; !ok {
+		t.Error("sim_mc0_util gauge missing from registry snapshot")
+	}
+}
+
+// TestTelemetryAllocBound pins the bounded-overhead half of the
+// zero-cost contract (the disabled half is TestDispatchLoopAllocationBound
+// and eventq's TestZeroAllocSteadyState): with the sampler enabled, the
+// marginal allocation cost per sample is bounded by series-append
+// amortization — well under two allocations per sample.
+func TestTelemetryAllocBound(t *testing.T) {
+	spec := testSpec()
+	measure := func(refs int) (allocs, samples float64) {
+		var n int
+		allocs = testing.AllocsPerRun(3, func() {
+			res, err := Run(Config{Spec: spec, Threads: 4, Cores: 4,
+				Observe: &ObserveConfig{Interval: 200}},
+				randomStreams(7, 4, refs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n = res.Telemetry.InFlight.Len()
+		})
+		return allocs, float64(n)
+	}
+	smallAllocs, smallSamples := measure(2000)
+	largeAllocs, largeSamples := measure(32000)
+	extra := largeSamples - smallSamples
+	if extra < 100 {
+		t.Fatalf("test needs sample growth, got %v -> %v", smallSamples, largeSamples)
+	}
+	perSample := (largeAllocs - smallAllocs) / extra
+	// The marginal cost also includes the page-table growth allowed by
+	// TestDispatchLoopAllocationBound; two allocs per sample leaves room
+	// for both while still forbidding any per-sample boxing or fmt use.
+	if perSample > 2.0 {
+		t.Errorf("telemetry allocates %.3f objects per sample (small %.0f, large %.0f), want bounded",
+			perSample, smallAllocs, largeAllocs)
+	}
+}

@@ -100,6 +100,16 @@ type Config struct {
 	// dispatch events in the identical deterministic order, so results do
 	// not depend on this choice.
 	EventQueue eventq.Kind
+	// Observe, when non-nil, attaches the in-run telemetry layer: a
+	// simulated-time sampler (utilization, queue occupancy, in-flight
+	// requests, per-core stall fraction as time series on
+	// Result.Telemetry), structured run tracing and live metrics. nil
+	// disables it at zero cost — the steady-state hot path stays
+	// allocation-free, pinned by the telemetry alloc tests. Sampling does
+	// not perturb the simulation: the sampler only reads engine state, so
+	// every counter in Result is identical with and without it (only
+	// Result.Events grows by the dispatched sample events).
+	Observe *ObserveConfig
 }
 
 // ThreadStats are the per-thread counters.
@@ -168,6 +178,11 @@ type Result struct {
 	// the run — the denominator-free throughput unit benchmark harnesses
 	// report as simulated-events/sec.
 	Events uint64
+	// Telemetry holds the sampled time series when the run was observed
+	// (Config.Observe non-nil), nil otherwise. It is deliberately excluded
+	// from JSON so the persistent run cache stays compact and versioned on
+	// counters alone.
+	Telemetry *RunTelemetry `json:"-"`
 	// PerThread has one entry per thread.
 	PerThread []ThreadStats
 	// MCStats has one entry per memory controller.
@@ -215,13 +230,45 @@ func Run(cfg Config, streams []trace.Stream) (Result, error) {
 	for i, s := range streams {
 		e.addThread(i, s)
 	}
-	e.start()
 
-	if cfg.MaxCycles > 0 {
+	// Telemetry attaches outside the hot path: a nil Observe leaves the
+	// engine exactly as built, with no hooks installed anywhere.
+	var obs *observer
+	if cfg.Observe != nil {
+		obs = newObserver(e, cfg.Observe)
+		attachQueueTracing(q, cfg.Observe.Tracer)
+		cfg.Observe.Tracer.Emit("run.start",
+			"machine", cfg.Spec.Name, "threads", cfg.Threads, "cores", cfg.Cores,
+			"placement", cfg.Placement.String(), "sample_interval", obs.interval)
+	}
+
+	e.start()
+	if obs != nil {
+		obs.start()
+	}
+
+	switch {
+	case obs != nil:
+		obs.drive(cfg.MaxCycles)
+	case cfg.MaxCycles > 0:
 		q.RunWhile(func() bool { return q.Now() < cfg.MaxCycles })
-	} else {
+	default:
 		q.Run()
 	}
 	defer trace.StopAll(streams...)
-	return e.result(), nil
+	res := e.result()
+	if obs != nil {
+		if obs.endSet {
+			// The terminal sampler tick fired after the run's last real
+			// event; report the makespan the unobserved run would have.
+			res.Makespan = obs.realEnd
+		}
+		res.Telemetry = obs.rt
+		cfg.Observe.Tracer.Emit("run.end",
+			"machine", cfg.Spec.Name, "cores", cfg.Cores,
+			"makespan", res.Makespan, "events", res.Events,
+			"offchip", res.OffChipRequests, "samples", obs.rt.InFlight.Len(),
+			"aborted", res.Aborted)
+	}
+	return res, nil
 }

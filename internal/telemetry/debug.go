@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// StartDebugServer serves live-inspection endpoints for long sweeps on
+// addr (e.g. "localhost:6060"):
+//
+//	/metrics      Prometheus text exposition of reg (404 when reg is nil)
+//	/debug/vars   expvar JSON, including the registry under "telemetry"
+//	/debug/pprof  the standard pprof index (profile, heap, goroutine, ...)
+//
+// It returns the listener's resolved address (useful with port 0) and a
+// shutdown function. The server runs on its own goroutine and uses its
+// own mux, so importing this package does not pollute
+// http.DefaultServeMux.
+func StartDebugServer(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	if reg != nil {
+		publishExpvar(reg)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// publishExpvar exposes the registry snapshot as the expvar "telemetry"
+// variable. Publishing the same name twice panics in expvar, so the
+// variable is registered once and later registries are appended to the
+// snapshot set.
+var (
+	expvarMu   sync.Mutex
+	expvarRegs []*Registry
+)
+
+func publishExpvar(reg *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if len(expvarRegs) == 0 {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			expvarMu.Lock()
+			regs := append([]*Registry(nil), expvarRegs...)
+			expvarMu.Unlock()
+			merged := map[string]float64{}
+			for _, r := range regs {
+				for k, v := range r.Snapshot() {
+					merged[k] = v
+				}
+			}
+			return merged
+		}))
+	}
+	expvarRegs = append(expvarRegs, reg)
+}

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs_total")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Errorf("counter = %d, want 4", c.Value())
+	}
+	if r.Counter("runs_total") != c {
+		t.Error("Counter should return the same instance per name")
+	}
+	g := r.Gauge("queue_depth")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Errorf("sum = %v, want 556.5", h.Sum())
+	}
+	_, counts, _, _ := h.snapshot()
+	// 0.5 and 1 land in le=1; 5 in le=10; 50 in le=100; 500 in +Inf.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, counts[i], w)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("util").Set(0.85)
+	h := r.Histogram("wait_cycles", 10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var first string
+	for i := 0; i < 5; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.String()
+			continue
+		}
+		if buf.String() != first {
+			t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", first, buf.String())
+		}
+	}
+	want := `# TYPE a_total counter
+a_total 1
+# TYPE b_total counter
+b_total 2
+# TYPE util gauge
+util 0.85
+# TYPE wait_cycles histogram
+wait_cycles_bucket{le="10"} 1
+wait_cycles_bucket{le="100"} 2
+wait_cycles_bucket{le="+Inf"} 3
+wait_cycles_sum 5055
+wait_cycles_count 3
+`
+	if first != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", first, want)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(float64(i))
+				r.Histogram("h", 10).Observe(float64(i % 20))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	s := NewTimeSeries("mc0.occupancy", "requests", 4)
+	for i := uint64(1); i <= 4; i++ {
+		s.Append(i*100, float64(i))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d, want 4", s.Len())
+	}
+	if s.Mean() != 2.5 {
+		t.Errorf("mean = %v, want 2.5", s.Mean())
+	}
+	if s.Max() != 4 {
+		t.Errorf("max = %v, want 4", s.Max())
+	}
+	x, y := s.XY()
+	if x[2] != 300 || y[2] != 3 {
+		t.Errorf("XY()[2] = (%v, %v), want (300, 3)", x[2], y[2])
+	}
+}
+
+func TestWriteTimelineDat(t *testing.T) {
+	a := NewTimeSeries("a", "", 2)
+	b := NewTimeSeries("b", "", 2)
+	a.Append(100, 1)
+	a.Append(200, 0.25)
+	b.Append(100, 2)
+	b.Append(200, 3)
+	var buf bytes.Buffer
+	if err := WriteTimelineDat(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# cycles a b\n100 1 2\n200 0.25 3\n"
+	if buf.String() != want {
+		t.Errorf("timeline = %q, want %q", buf.String(), want)
+	}
+
+	// Ragged series must be rejected, not silently misaligned.
+	b.Append(300, 4)
+	if err := WriteTimelineDat(io.Discard, a, b); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestTracerNDJSONDeterministic(t *testing.T) {
+	emit := func() string {
+		var buf bytes.Buffer
+		tr := NewTracer(&buf)
+		tr.Emit("run.start", "machine", "IntelUMA8", "cores", 4)
+		tr.Emit("run.end", "makespan", uint64(12345), "offchip", 17)
+		return buf.String()
+	}
+	first := emit()
+	if emit() != first {
+		t.Fatal("tracer output not deterministic")
+	}
+	lines := strings.Split(strings.TrimSpace(first), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2:\n%s", len(lines), first)
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if ev["event"] != "run.start" || ev["machine"] != "IntelUMA8" {
+		t.Errorf("unexpected event: %v", ev)
+	}
+	if _, hasTime := ev["time"]; hasTime {
+		t.Error("wall-clock time leaked into trace output")
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Emit("anything", "k", "v") // must not panic
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runs_total").Add(7)
+	addr, stop, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d\n%s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "runs_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "telemetry") {
+		t.Errorf("/debug/vars missing telemetry var:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ missing index:\n%s", body)
+	}
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// TimeSeries is one sampled quantity over simulated time: a name, a unit
+// and parallel (cycle, value) slices. The in-run sampler appends to it
+// from the simulation's own event loop, so it needs no locking — one
+// simulation runs on one goroutine — and appends amortize to well under
+// one allocation per sample, the bound the telemetry alloc test pins.
+type TimeSeries struct {
+	// Name identifies the series ("mc0.occupancy", "core3.stall_frac").
+	Name string
+	// Unit documents the value dimension ("requests", "fraction").
+	Unit string
+	// T holds the sample times in simulated cycles, strictly increasing.
+	T []uint64
+	// V holds the sampled values, parallel to T.
+	V []float64
+}
+
+// NewTimeSeries returns an empty series with capacity for hint samples.
+func NewTimeSeries(name, unit string, hint int) *TimeSeries {
+	return &TimeSeries{
+		Name: name,
+		Unit: unit,
+		T:    make([]uint64, 0, hint),
+		V:    make([]float64, 0, hint),
+	}
+}
+
+// Append records one sample at simulated time t.
+func (s *TimeSeries) Append(t uint64, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of samples.
+func (s *TimeSeries) Len() int { return len(s.T) }
+
+// Mean returns the arithmetic mean of the sampled values (0 if empty).
+func (s *TimeSeries) Mean() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.V {
+		sum += v
+	}
+	return sum / float64(len(s.V))
+}
+
+// Max returns the largest sampled value (0 if empty).
+func (s *TimeSeries) Max() float64 {
+	max := 0.0
+	for i, v := range s.V {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// XY returns the series as float64 x/y slices, the shape internal/viz
+// charts consume.
+func (s *TimeSeries) XY() (x, y []float64) {
+	x = make([]float64, len(s.T))
+	for i, t := range s.T {
+		x[i] = float64(t)
+	}
+	return x, append([]float64(nil), s.V...)
+}
+
+// ErrRaggedSeries is returned by WriteTimelineDat when the series were
+// not sampled on a common clock.
+var ErrRaggedSeries = errors.New("telemetry: series have differing sample times")
+
+// WriteTimelineDat renders series sampled on a common clock as a
+// gnuplot-ready whitespace-separated table: one row per sample time, one
+// column per series, with a header naming the columns. All series must
+// have identical sample times (the in-run sampler guarantees this).
+func WriteTimelineDat(w io.Writer, series ...*TimeSeries) error {
+	if len(series) == 0 {
+		return nil
+	}
+	n := series[0].Len()
+	if _, err := fmt.Fprint(w, "# cycles"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if s.Len() != n {
+			return fmt.Errorf("%w: %s has %d samples, %s has %d",
+				ErrRaggedSeries, series[0].Name, n, s.Name, s.Len())
+		}
+		if _, err := fmt.Fprintf(w, " %s", s.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		t := series[0].T[i]
+		if _, err := fmt.Fprintf(w, "%d", t); err != nil {
+			return err
+		}
+		for _, s := range series {
+			if s.T[i] != t {
+				return fmt.Errorf("%w: %s sample %d at t=%d, %s at t=%d",
+					ErrRaggedSeries, series[0].Name, i, t, s.Name, s.T[i])
+			}
+			if _, err := fmt.Fprintf(w, " %.6g", s.V[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
