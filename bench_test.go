@@ -19,6 +19,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -46,12 +47,12 @@ func BenchmarkFullRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(workload.Tuning{RefScale: 0.25})
-		if _, err := r.Fig3(spec, counts); err != nil {
+		if _, err := r.Fig3(context.Background(), spec, counts); err != nil {
 			b.Fatal(err)
 		}
 		// The sweep's runs are now cached: fold in their event counts.
 		for _, n := range counts {
-			res, err := r.Run(spec, "CG", workload.C, n)
+			res, err := r.Run(context.Background(), spec, "CG", workload.C, n)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -67,7 +68,7 @@ func BenchmarkTableII(b *testing.B) {
 	var d experiments.TableIIData
 	var err error
 	for i := 0; i < b.N; i++ {
-		d, err = r.TableII(specs)
+		d, err = r.TableII(context.Background(), specs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func BenchmarkFig3(b *testing.B) {
 	r := experiments.NewRunner(benchTune)
 	for i := 0; i < b.N; i++ {
 		for _, spec := range machine.All() {
-			d, err := r.Fig3(spec, experiments.CoarseSweepCounts(spec, 6))
+			d, err := r.Fig3(context.Background(), spec, experiments.CoarseSweepCounts(spec, 6))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -119,7 +120,7 @@ func BenchmarkFig4(b *testing.B) {
 	var series []experiments.Fig4Series
 	var err error
 	for i := 0; i < b.N; i++ {
-		series, err = r.Fig4(spec)
+		series, err = r.Fig4(context.Background(), spec)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +136,7 @@ func benchmarkModelFig(b *testing.B, program string, class workload.Class) {
 	r := experiments.NewRunner(benchTune)
 	for i := 0; i < b.N; i++ {
 		for _, spec := range machine.All() {
-			fig, err := r.ModelVsMeasurement(spec, program, class,
+			fig, err := r.ModelVsMeasurement(context.Background(), spec, program, class,
 				experiments.CoarseSweepCounts(spec, 6), core.Options{})
 			if err != nil {
 				b.Fatal(err)
@@ -155,7 +156,7 @@ func BenchmarkTableIV(b *testing.B) {
 	var cells []experiments.TableIVCell
 	var err error
 	for i := 0; i < b.N; i++ {
-		cells, err = r.TableIV(specs)
+		cells, err = r.TableIV(context.Background(), specs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func BenchmarkAblationInputs(b *testing.B) {
 	var res experiments.AblationInputsResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = r.AblationInputs(spec, experiments.CoarseSweepCounts(spec, 6))
+		res, err = r.AblationInputs(context.Background(), spec, experiments.CoarseSweepCounts(spec, 6))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,7 +189,7 @@ func BenchmarkAblationController(b *testing.B) {
 	var res experiments.AblationControllerResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = r.AblationController(spec)
+		res, err = r.AblationController(context.Background(), spec)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -203,7 +204,7 @@ func BenchmarkAblationClosedModel(b *testing.B) {
 	var res experiments.AblationClosedResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = r.AblationClosedModel(spec, "CG", workload.C)
+		res, err = r.AblationClosedModel(context.Background(), spec, "CG", workload.C)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -218,7 +219,7 @@ func BenchmarkSpeedupStudy(b *testing.B) {
 	var d experiments.SpeedupData
 	var err error
 	for i := 0; i < b.N; i++ {
-		d, err = r.SpeedupStudy(spec, "CG", workload.C, experiments.CoarseSweepCounts(spec, 6))
+		d, err = r.SpeedupStudy(context.Background(), spec, "CG", workload.C, experiments.CoarseSweepCounts(spec, 6))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -231,7 +232,7 @@ func BenchmarkOversubscription(b *testing.B) {
 	r := experiments.NewRunner(benchTune)
 	spec := machine.IntelUMA8()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.Oversubscription(spec, "CG", workload.C); err != nil {
+		if _, err := r.Oversubscription(context.Background(), spec, "CG", workload.C); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -243,7 +244,7 @@ func BenchmarkSensitivity(b *testing.B) {
 	var points []experiments.SensitivityPoint
 	var err error
 	for i := 0; i < b.N; i++ {
-		points, err = r.Sensitivity(spec, "CG", workload.C)
+		points, err = r.Sensitivity(context.Background(), spec, "CG", workload.C)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,6 +6,7 @@ package repro
 // in EXPERIMENTS.md and regenerate via cmd/experiments.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -33,7 +34,7 @@ func TestClaimContentionGrowsWithCores(t *testing.T) {
 	}
 	r := experiments.NewRunner(claimsTune)
 	spec := machine.IntelUMA8()
-	d, err := r.Fig3(spec, []int{1, 4, 8})
+	d, err := r.Fig3(context.Background(), spec, []int{1, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestClaimContentionGrowsWithCores(t *testing.T) {
 // that only catch gross breakage.
 func TestClaimContentionSmoke(t *testing.T) {
 	r := experiments.NewRunner(workload.Tuning{RefScale: 0.05})
-	d, err := r.Fig3(machine.IntelUMA8(), []int{1, 8})
+	d, err := r.Fig3(context.Background(), machine.IntelUMA8(), []int{1, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +81,11 @@ func TestClaimSizeControlsContention(t *testing.T) {
 	r := experiments.NewRunner(claimsTune)
 	spec := machine.IntelUMA8()
 	omega := func(program string, class workload.Class) float64 {
-		base, err := r.Run(spec, program, class, 1)
+		base, err := r.Run(context.Background(), spec, program, class, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, err := r.Run(spec, program, class, 8)
+		full, err := r.Run(context.Background(), spec, program, class, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,11 +109,11 @@ func TestClaimContentionOrdering(t *testing.T) {
 	spec := machine.IntelUMA8()
 	omega := map[string]float64{}
 	for _, prog := range []string{"EP", "CG", "SP"} {
-		base, err := r.Run(spec, prog, workload.C, 1)
+		base, err := r.Run(context.Background(), spec, prog, workload.C, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, err := r.Run(spec, prog, workload.C, 8)
+		full, err := r.Run(context.Background(), spec, prog, workload.C, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,7 +136,7 @@ func TestClaimBurstinessDependsOnSize(t *testing.T) {
 	// Full iteration counts are needed for burst statistics; CG.S and CG.C
 	// stay affordable on the UMA machine.
 	r := experiments.NewRunner(workload.Tuning{RefScale: 0.5})
-	series, err := r.Fig4(machine.IntelUMA8())
+	series, err := r.Fig4(context.Background(), machine.IntelUMA8())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestClaimModelAccuracy(t *testing.T) {
 	}
 	r := experiments.NewRunner(claimsTune)
 	spec := machine.IntelUMA8()
-	fig, err := r.Fig5(spec, []int{1, 2, 3, 4, 5, 6, 7, 8})
+	fig, err := r.Fig5(context.Background(), spec, []int{1, 2, 3, 4, 5, 6, 7, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestClaimLinearityForContendedPrograms(t *testing.T) {
 	r := experiments.NewRunner(claimsTune)
 	spec := machine.IntelUMA8()
 	r2 := func(program string) float64 {
-		meas, err := r.Sweep(spec, program, workload.C, []int{1, 2, 3, 4})
+		meas, err := r.Sweep(context.Background(), spec, program, workload.C, []int{1, 2, 3, 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -302,11 +303,11 @@ func TestClaimMoreBandwidthReducesContention(t *testing.T) {
 	wide.Name = "IntelUMA8wide"
 	wide.MC.Channels = 4
 	omega := func(spec machine.Spec) float64 {
-		base, err := r.Run(spec, "SP", workload.C, 1)
+		base, err := r.Run(context.Background(), spec, "SP", workload.C, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, err := r.Run(spec, "SP", workload.C, 8)
+		full, err := r.Run(context.Background(), spec, "SP", workload.C, 8)
 		if err != nil {
 			t.Fatal(err)
 		}

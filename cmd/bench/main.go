@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/cli"
 	"repro/internal/eventq"
 	"repro/internal/experiments"
 	"repro/internal/machine"
@@ -56,6 +58,7 @@ type Report struct {
 }
 
 func main() {
+	var common cli.Common
 	var (
 		out       = flag.String("out", "BENCH.json", "where to write results")
 		baseline  = flag.String("baseline", "", "previous BENCH.json to gate against (empty = no gate)")
@@ -63,32 +66,31 @@ func main() {
 		repeat    = flag.Int("repeat", 3, "runs per benchmark; the fastest is kept (noise only adds time)")
 		timestamp = flag.String("timestamp", "", "provenance: when this run happened (recorded verbatim)")
 		gitRev    = flag.String("git-rev", "", "provenance: source revision benchmarked (recorded verbatim)")
-		traceOut  = flag.String("trace-out", "", "write NDJSON runner.span events from the sweep benchmarks to this file")
-		debug     = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while benchmarking")
 	)
+	common.RegisterTelemetry()
 	flag.Parse()
 	if *repeat < 1 {
 		*repeat = 1
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	if common.TraceOut != "" {
+		f, err := os.Create(common.TraceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bench:", err)
-			os.Exit(1)
+			cli.Fatal("bench", err)
 		}
 		defer f.Close()
 		benchTracer = telemetry.NewTracer(f)
 	}
-	if *debug != "" {
+	if common.DebugAddr != "" {
 		benchMetrics = telemetry.NewRegistry()
-		addr, stop, err := telemetry.StartDebugServer(*debug, benchMetrics)
+		addr, stop, err := telemetry.StartDebugServer(common.DebugAddr, benchMetrics)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bench:", err)
-			os.Exit(1)
+			cli.Fatal("bench", err)
 		}
 		defer stop()
 		fmt.Fprintf(os.Stderr, "bench: debug server listening on %s\n", addr)
 	}
+	ctx, stopSignals := cli.SignalContext()
+	defer stopSignals()
 
 	rep := Report{
 		GoVersion: runtime.Version(),
@@ -98,7 +100,7 @@ func main() {
 		Timestamp: *timestamp,
 		GitRev:    *gitRev,
 	}
-	for _, bm := range benchmarks() {
+	for _, bm := range benchmarks(ctx) {
 		fmt.Fprintf(os.Stderr, "bench: running %s...\n", bm.name)
 		var e Entry
 		for rep := 0; rep < *repeat; rep++ {
@@ -197,11 +199,11 @@ var (
 // preset (the larger NUMA machines at reduced scale and coarse core
 // counts so the whole suite stays under a minute per preset) plus the
 // event-queue micro-benchmarks in both backends.
-func benchmarks() []namedBench {
+func benchmarks(ctx context.Context) []namedBench {
 	return []namedBench{
-		{"FullRun/IntelUMA8@0.25", fullRun(machine.IntelUMA8(), 0.25, 1)},
-		{"FullRun/IntelNUMA24@0.05", fullRun(machine.IntelNUMA24(), 0.05, 8)},
-		{"FullRun/AMDNUMA48@0.02", fullRun(machine.AMDNUMA48(), 0.02, 16)},
+		{"FullRun/IntelUMA8@0.25", fullRun(ctx, machine.IntelUMA8(), 0.25, 1)},
+		{"FullRun/IntelNUMA24@0.05", fullRun(ctx, machine.IntelNUMA24(), 0.05, 8)},
+		{"FullRun/AMDNUMA48@0.02", fullRun(ctx, machine.AMDNUMA48(), 0.02, 16)},
 		{"EventQueue/Calendar", queueBench(eventq.Calendar)},
 		{"EventQueue/Heap", queueBench(eventq.Heap)},
 	}
@@ -210,7 +212,8 @@ func benchmarks() []namedBench {
 // fullRun benchmarks the complete Fig. 3 sweep (CG.C over a core sweep) on
 // one machine, cold-cache per iteration, reporting simulated events/sec.
 // step 1 sweeps every core count; larger steps use the coarse sweep.
-func fullRun(spec machine.Spec, scale float64, step int) func(b *testing.B) {
+// Ctrl-C propagates through ctx and fails the in-flight benchmark.
+func fullRun(ctx context.Context, spec machine.Spec, scale float64, step int) func(b *testing.B) {
 	return func(b *testing.B) {
 		counts := experiments.FullSweepCounts(spec)
 		if step > 1 {
@@ -222,11 +225,11 @@ func fullRun(spec machine.Spec, scale float64, step int) func(b *testing.B) {
 			r := experiments.NewRunner(workload.Tuning{RefScale: scale})
 			r.Tracer = benchTracer
 			r.Metrics = benchMetrics
-			if _, err := r.Fig3(spec, counts); err != nil {
+			if _, err := r.Fig3(ctx, spec, counts); err != nil {
 				b.Fatal(err)
 			}
 			for _, n := range counts {
-				res, err := r.Run(spec, "CG", workload.C, n)
+				res, err := r.Run(ctx, spec, "CG", workload.C, n)
 				if err != nil {
 					b.Fatal(err)
 				}

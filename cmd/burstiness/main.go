@@ -13,9 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/burst"
+	"repro/internal/cli"
 	"repro/internal/machine"
 	"repro/internal/sampler"
 	"repro/internal/sim"
@@ -25,23 +25,23 @@ import (
 )
 
 func main() {
+	var common cli.Common
 	var (
-		machName = flag.String("machine", "IntelNUMA24", "machine preset: "+strings.Join(machine.Names(), ", "))
-		program  = flag.String("program", "CG", "program: "+strings.Join(workload.Names(), ", "))
-		class    = flag.String("class", "C", "problem class")
-		scale    = flag.Float64("scale", 1.0, "workload iteration scale")
-		micros   = flag.Float64("window", 0, "sampling window in microseconds (0 = paper's 5us divided by machine.CacheScale)")
-		ccdf     = flag.Bool("ccdf", false, "print the full CCDF points")
-		hurst    = flag.Bool("hurst", false, "also estimate the Hurst exponent of the window series")
-		plot     = flag.Bool("plot", false, "render the CCDF as an ASCII log-log chart")
+		micros = flag.Float64("window", 0, "sampling window in microseconds (0 = paper's 5us divided by machine.CacheScale)")
+		ccdf   = flag.Bool("ccdf", false, "print the full CCDF points")
+		hurst  = flag.Bool("hurst", false, "also estimate the Hurst exponent of the window series")
+		plot   = flag.Bool("plot", false, "render the CCDF as an ASCII log-log chart")
 	)
+	common.RegisterMachine("IntelNUMA24")
+	common.RegisterWorkload("CG", "C")
+	common.RegisterScale()
 	flag.Parse()
 
-	spec, err := machine.ByName(*machName)
+	spec, err := common.Spec()
 	if err != nil {
 		fatal(err)
 	}
-	wl, err := workload.NewTuned(*program, workload.Class(*class), workload.Tuning{RefScale: *scale})
+	wl, err := workload.NewTuned(common.Program, common.WorkloadClass(), common.Tuning())
 	if err != nil {
 		fatal(err)
 	}
@@ -53,12 +53,16 @@ func main() {
 		fatal(err)
 	}
 	threads := spec.TotalCores()
-	res, err := sim.Run(sim.Config{
-		Spec:     spec,
-		Threads:  threads,
-		Cores:    threads,
-		MissHook: s.Hook(),
-	}, wl.Streams(threads))
+	cfg, err := sim.NewConfig(spec,
+		sim.WithThreads(threads),
+		sim.WithCores(threads),
+		sim.WithMissHook(s.Hook()))
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stopSignals := cli.SignalContext()
+	defer stopSignals()
+	res, err := sim.Run(ctx, cfg, wl.Streams(threads))
 	if err != nil {
 		fatal(err)
 	}
@@ -121,6 +125,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "burstiness:", err)
-	os.Exit(1)
+	cli.Fatal("burstiness", err)
 }

@@ -14,47 +14,50 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/machine"
 	"repro/internal/viz"
-	"repro/internal/workload"
 )
 
 func main() {
+	var common cli.Common
 	var (
-		machName    = flag.String("machine", "IntelNUMA24", "machine preset: "+strings.Join(machine.Names(), ", "))
-		program     = flag.String("program", "CG", "program: "+strings.Join(workload.Names(), ", "))
-		class       = flag.String("class", "C", "problem class")
-		scale       = flag.Float64("scale", 1.0, "workload iteration scale")
 		validate    = flag.Bool("validate", false, "also measure a full sweep and report model error")
 		step        = flag.Int("step", 2, "core-count step for the validation sweep")
 		homogeneous = flag.Bool("homogeneous", false, "fit with the reduced homogeneous-interconnect plan")
-		jobs        = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		verbose     = flag.Bool("v", false, "log each simulation run")
 		plot        = flag.Bool("plot", false, "render an ASCII chart of the curves")
 	)
+	common.RegisterMachine("IntelNUMA24")
+	common.RegisterWorkload("CG", "C")
+	common.RegisterScale()
+	common.RegisterJobs()
+	common.RegisterVerbose()
+	common.RegisterResume()
 	flag.Parse()
 
-	spec, err := machine.ByName(*machName)
+	spec, err := common.Spec()
 	if err != nil {
 		fatal(err)
 	}
-	r := experiments.NewRunner(workload.Tuning{RefScale: *scale})
-	r.Jobs = *jobs
-	if *verbose {
-		r.Progress = os.Stderr
-	}
-	opts := core.Options{Homogeneous: *homogeneous}
-	model, plan, err := r.FitFromPlan(spec, *program, workload.Class(*class), opts)
+	ctx, stopSignals := cli.SignalContext()
+	defer stopSignals()
+	r, cleanup, err := common.NewRunner()
 	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+	program, class := common.Program, common.WorkloadClass()
+	opts := core.Options{Homogeneous: *homogeneous}
+	model, plan, err := r.FitFromPlan(ctx, spec, program, class, opts)
+	if err != nil {
+		cleanup()
 		fatal(err)
 	}
 
 	fmt.Printf("# %s %s.%s — %s model fitted from C(n) at n=%v\n",
-		spec.Name, *program, *class, model.Kind, plan)
+		spec.Name, program, class, model.Kind, plan)
 	fmt.Printf("# single-processor fit: mu/r=%.4g L/r=%.4g R2=%.3f saturation at %.1f cores\n",
 		model.Single.MuOverR, model.Single.LOverR, model.Single.R2, model.Single.SaturationCores())
 	if model.Kind == core.UMA {
@@ -65,14 +68,15 @@ func main() {
 
 	if *validate {
 		counts := experiments.CoarseSweepCounts(spec, *step)
-		fig, err := r.ModelVsMeasurement(spec, *program, workload.Class(*class), counts, opts)
+		fig, err := r.ModelVsMeasurement(ctx, spec, program, class, counts, opts)
 		if err != nil {
+			cleanup()
 			fatal(err)
 		}
 		experiments.RenderModelFig(os.Stdout, fig, "Validation")
 		if *plot {
 			var ch viz.Chart
-			ch.Title = fmt.Sprintf("%s %s.%s: degree of contention", spec.Name, *program, *class)
+			ch.Title = fmt.Sprintf("%s %s.%s: degree of contention", spec.Name, program, class)
 			ch.XLabel = "cores"
 			ch.YLabel = "omega"
 			xs := make([]float64, len(fig.Validation.Cores))
@@ -103,6 +107,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "contention:", err)
-	os.Exit(1)
+	cli.Fatal("contention", err)
 }

@@ -8,10 +8,17 @@
 //	experiments -run fig5 -machine AMDNUMA48 -step 3
 //	experiments -run tableII -scale 0.25 # quarter-length workloads
 //	experiments -run all -scale 0.25 -jobs 8 -v  # fast path: parallel runs
+//	experiments -run fig3 -resume fig3.journal   # survive kills: re-run to finish
 //
 // Simulations execute on a bounded worker pool (-jobs, default
 // GOMAXPROCS) with singleflight deduplication, so runs shared between
 // artifacts execute once and output is byte-identical at any -jobs value.
+//
+// Ctrl-C (or SIGTERM) cancels the sweep promptly: in-flight simulations
+// abort within a bounded number of events and the process exits 130.
+// With -resume FILE every completed run is journaled as it finishes;
+// re-running the same command after a kill replays the journal and
+// simulates only the remainder, producing byte-identical output.
 //
 // Output is the textual form of each table/figure: the same rows and
 // series the paper reports.
@@ -21,59 +28,44 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/machine"
-	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
 func main() {
+	var common cli.Common
 	var (
 		runWhat  = flag.String("run", "all", "experiment: tableII|fig3|tableIII|fig4|fig5|fig6|tableIV|ablations|oversub|sensitivity|speedup|whitebox|all")
 		datDir   = flag.String("dat", "", "also write gnuplot-ready .dat files for the figures into this directory")
 		jsonDir  = flag.String("json", "", "also write machine-readable .json results into this directory")
 		cacheArg = flag.String("cache", "", "persistent run-cache file: loaded at start, saved at exit")
-		machName = flag.String("machine", "all", "machine preset or 'all': "+strings.Join(machine.Names(), ", "))
-		scale    = flag.Float64("scale", 1.0, "workload iteration scale (lower = faster, noisier)")
 		step     = flag.Int("step", 1, "core-count step for figure sweeps (1 = every count)")
-		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS); results are identical at any setting")
-		verbose  = flag.Bool("v", false, "log each simulation run with progress counter and timing")
-		traceOut = flag.String("trace-out", "", "write one NDJSON runner.span per served run (sim|dedup|cache) to this file")
-		debug    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	)
+	common.RegisterMachineAll("all")
+	common.RegisterScale()
+	common.RegisterJobs()
+	common.RegisterVerbose()
+	common.RegisterTelemetry()
+	common.RegisterResume()
 	flag.Parse()
 
-	specs, err := selectMachines(*machName)
+	specs, err := common.Machines()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	r := experiments.NewRunner(workload.Tuning{RefScale: *scale})
-	r.Jobs = *jobs
-	if *verbose {
-		r.Progress = os.Stderr
+	ctx, stopSignals := cli.SignalContext()
+	defer stopSignals()
+
+	r, cleanup, err := common.NewRunner()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		defer f.Close()
-		r.Tracer = telemetry.NewTracer(f)
-	}
-	if *debug != "" {
-		r.Metrics = telemetry.NewRegistry()
-		addr, stop, err := telemetry.StartDebugServer(*debug, r.Metrics)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		defer stop()
-		fmt.Fprintf(os.Stderr, "debug server listening on %s\n", addr)
-	}
+	defer cleanup()
 	if *cacheArg != "" {
 		n, err := r.LoadCache(*cacheArg)
 		if err != nil {
@@ -93,14 +85,17 @@ func main() {
 			return
 		}
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			// Run the deferred cleanups (journal close, cache save,
+			// tracer flush) before exiting; cli.Fatal maps cancellation
+			// to exit 130 so wrappers can distinguish kill from failure.
+			cleanup()
+			cli.Fatal(name, err)
 		}
 		fmt.Println()
 	}
 
 	run("tableII", func() error {
-		d, err := r.TableII(specs)
+		d, err := r.TableII(ctx, specs)
 		if err != nil {
 			return err
 		}
@@ -112,7 +107,7 @@ func main() {
 	})
 	run("fig3", func() error {
 		for _, spec := range specs {
-			d, err := r.Fig3(spec, experiments.CoarseSweepCounts(spec, *step))
+			d, err := r.Fig3(ctx, spec, experiments.CoarseSweepCounts(spec, *step))
 			if err != nil {
 				return err
 			}
@@ -137,7 +132,7 @@ func main() {
 	run("fig4", func() error {
 		// The paper's burstiness study runs on the Intel NUMA machine.
 		spec := machine.IntelNUMA24()
-		series, err := r.Fig4(spec)
+		series, err := r.Fig4(ctx, spec)
 		if err != nil {
 			return err
 		}
@@ -154,7 +149,7 @@ func main() {
 	})
 	run("fig5", func() error {
 		for _, spec := range specs {
-			fig, err := r.Fig5(spec, experiments.CoarseSweepCounts(spec, *step))
+			fig, err := r.Fig5(ctx, spec, experiments.CoarseSweepCounts(spec, *step))
 			if err != nil {
 				return err
 			}
@@ -175,7 +170,7 @@ func main() {
 	})
 	run("fig6", func() error {
 		for _, spec := range specs {
-			fig, err := r.Fig6(spec, experiments.CoarseSweepCounts(spec, *step))
+			fig, err := r.Fig6(ctx, spec, experiments.CoarseSweepCounts(spec, *step))
 			if err != nil {
 				return err
 			}
@@ -190,7 +185,7 @@ func main() {
 		return nil
 	})
 	run("tableIV", func() error {
-		cells, err := r.TableIV(specs)
+		cells, err := r.TableIV(ctx, specs)
 		if err != nil {
 			return err
 		}
@@ -199,7 +194,7 @@ func main() {
 	})
 	run("oversub", func() error {
 		for _, spec := range specs {
-			points, err := r.Oversubscription(spec, "CG", workload.C)
+			points, err := r.Oversubscription(ctx, spec, "CG", workload.C)
 			if err != nil {
 				return err
 			}
@@ -210,7 +205,7 @@ func main() {
 	})
 	run("sensitivity", func() error {
 		for _, spec := range specs {
-			points, err := r.Sensitivity(spec, "CG", workload.C)
+			points, err := r.Sensitivity(ctx, spec, "CG", workload.C)
 			if err != nil {
 				return err
 			}
@@ -221,7 +216,7 @@ func main() {
 	})
 	run("speedup", func() error {
 		for _, spec := range specs {
-			d, err := r.SpeedupStudy(spec, "CG", workload.C, experiments.CoarseSweepCounts(spec, *step))
+			d, err := r.SpeedupStudy(ctx, spec, "CG", workload.C, experiments.CoarseSweepCounts(spec, *step))
 			if err != nil {
 				return err
 			}
@@ -232,7 +227,7 @@ func main() {
 	})
 	run("whitebox", func() error {
 		for _, spec := range specs {
-			d, err := r.WhiteBoxStudy(spec, "CG", workload.C, experiments.CoarseSweepCounts(spec, *step))
+			d, err := r.WhiteBoxStudy(ctx, spec, "CG", workload.C, experiments.CoarseSweepCounts(spec, *step))
 			if err != nil {
 				return err
 			}
@@ -244,18 +239,18 @@ func main() {
 	run("ablations", func() error {
 		for _, spec := range specs {
 			if !spec.UMA() && spec.Sockets > 2 {
-				a, err := r.AblationInputs(spec, experiments.CoarseSweepCounts(spec, *step))
+				a, err := r.AblationInputs(ctx, spec, experiments.CoarseSweepCounts(spec, *step))
 				if err != nil {
 					return err
 				}
 				experiments.RenderAblationInputs(os.Stdout, a)
 			}
-			ctrl, err := r.AblationController(spec)
+			ctrl, err := r.AblationController(ctx, spec)
 			if err != nil {
 				return err
 			}
 			experiments.RenderAblationController(os.Stdout, ctrl)
-			closed, err := r.AblationClosedModel(spec, "CG", workload.C)
+			closed, err := r.AblationClosedModel(ctx, spec, "CG", workload.C)
 			if err != nil {
 				return err
 			}
@@ -263,15 +258,4 @@ func main() {
 		}
 		return nil
 	})
-}
-
-func selectMachines(name string) ([]machine.Spec, error) {
-	if name == "all" {
-		return machine.All(), nil
-	}
-	spec, err := machine.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	return []machine.Spec{spec}, nil
 }

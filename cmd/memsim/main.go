@@ -13,6 +13,9 @@
 // events), memsim.timeline.dat (sampled utilization/occupancy time
 // series, gnuplot-ready) and memsim.metrics.prom (Prometheus text
 // snapshot); an ASCII utilization chart is printed after the counters.
+//
+// Ctrl-C cancels the simulation within a bounded number of events and
+// exits 130.
 package main
 
 import (
@@ -20,37 +23,36 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/counters"
 	"repro/internal/experiments"
-	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
 func main() {
+	var common cli.Common
 	var (
-		machName  = flag.String("machine", "IntelNUMA24", "machine preset: "+strings.Join(machine.Names(), ", "))
-		program   = flag.String("program", "CG", "program: "+strings.Join(workload.Names(), ", "))
-		class     = flag.String("class", "C", "problem class (S W A B C for NPB; simsmall..native for x264)")
 		cores     = flag.Int("cores", 0, "active cores, fill-processor-first (0 = all)")
 		threads   = flag.Int("threads", 0, "program threads (0 = machine cores, the paper's protocol)")
-		scale     = flag.Float64("scale", 1.0, "workload iteration scale")
 		placement = flag.String("placement", "first-touch", "NUMA page placement: first-touch|interleave")
 		perThread = flag.Bool("per-thread", false, "also print per-thread counters")
 		coherence = flag.Bool("coherence", false, "enable the MESI-style invalidation directory")
 		telemDir  = flag.String("telemetry", "", "observe the run and write trace/timeline/metrics artifacts into this directory")
 		interval  = flag.Uint64("sample-interval", 0, "telemetry sampling period in cycles (0 = 5us at the machine clock)")
 	)
+	common.RegisterMachine("IntelNUMA24")
+	common.RegisterWorkload("CG", "C")
+	common.RegisterScale()
 	flag.Parse()
 
-	spec, err := machine.ByName(*machName)
+	spec, err := common.Spec()
 	if err != nil {
 		fatal(err)
 	}
-	wl, err := workload.NewTuned(*program, workload.Class(*class), workload.Tuning{RefScale: *scale})
+	wl, err := workload.NewTuned(common.Program, common.WorkloadClass(), common.Tuning())
 	if err != nil {
 		fatal(err)
 	}
@@ -68,15 +70,15 @@ func main() {
 	if nThreads == 0 {
 		nThreads = spec.TotalCores()
 	}
-	cfg := sim.Config{
-		Spec:      spec,
-		Threads:   nThreads,
-		Cores:     *cores,
-		Placement: place,
-		Coherence: *coherence,
+	nCores := *cores
+	if nCores == 0 {
+		nCores = spec.TotalCores()
 	}
-	if cfg.Cores == 0 {
-		cfg.Cores = spec.TotalCores()
+	opts := []sim.Option{
+		sim.WithThreads(nThreads),
+		sim.WithCores(nCores),
+		sim.WithPlacement(place),
+		sim.WithCoherence(*coherence),
 	}
 
 	var reg *telemetry.Registry
@@ -90,14 +92,21 @@ func main() {
 		}
 		defer traceFile.Close()
 		reg = telemetry.NewRegistry()
-		cfg.Observe = &sim.ObserveConfig{
+		opts = append(opts, sim.WithObserve(&sim.ObserveConfig{
 			Interval: *interval,
 			Tracer:   telemetry.NewTracer(traceFile),
 			Registry: reg,
-		}
+		}))
 	}
 
-	res, err := sim.Run(cfg, wl.Streams(nThreads))
+	cfg, err := sim.NewConfig(spec, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stopSignals := cli.SignalContext()
+	defer stopSignals()
+	res, err := sim.Run(ctx, cfg, wl.Streams(nThreads))
 	if err != nil {
 		fatal(err)
 	}
@@ -149,6 +158,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "memsim:", err)
-	os.Exit(1)
+	cli.Fatal("memsim", err)
 }

@@ -14,24 +14,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
+	var common cli.Common
 	var (
-		program = flag.String("program", "CG", "program to record: "+strings.Join(workload.Names(), ", "))
-		class   = flag.String("class", "W", "problem class")
 		threads = flag.Int("threads", 1, "thread count (one trace file per thread)")
-		scale   = flag.Float64("scale", 1.0, "workload iteration scale")
 		out     = flag.String("out", "", "output path prefix; writes <out>.t<i> per thread")
 		in      = flag.String("in", "", "input trace to inspect instead of recording")
 		stats   = flag.Bool("stats", false, "print summary statistics of the input trace")
 		dump    = flag.Bool("print", false, "print references from the input trace")
 		limit   = flag.Int("limit", 50, "max references to print with -print")
 	)
+	common.RegisterWorkload("CG", "W")
+	common.RegisterScale()
 	flag.Parse()
 
 	switch {
@@ -40,7 +40,7 @@ func main() {
 			fatal(err)
 		}
 	case *out != "":
-		if err := record(*program, workload.Class(*class), *threads, *scale, *out); err != nil {
+		if err := record(common.Program, common.WorkloadClass(), *threads, common.Scale, *out); err != nil {
 			fatal(err)
 		}
 	default:
@@ -146,6 +146,5 @@ func maxU(a, b uint64) uint64 {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracedump:", err)
-	os.Exit(1)
+	cli.Fatal("tracedump", err)
 }

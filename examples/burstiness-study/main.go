@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -46,7 +47,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sim.Run(sim.Config{
+		res, err := sim.Run(context.Background(), sim.Config{
 			Spec:     spec,
 			Threads:  threads,
 			Cores:    threads,

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -29,7 +30,7 @@ func main() {
 	fmt.Fprintln(tw, "machine\tfit inputs\tsaturation\tmax cores with ω <= 1.0\tω at full machine")
 
 	for _, spec := range machine.All() {
-		model, plan, err := runner.FitFromPlan(spec, "CG", workload.C, core.Options{})
+		model, plan, err := runner.FitFromPlan(context.Background(), spec, "CG", workload.C, core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

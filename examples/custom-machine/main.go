@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,7 +65,7 @@ func main() {
 		spec := future32(channels)
 		threads := spec.TotalCores()
 		measure := func(cores int) sim.Result {
-			res, err := sim.Run(sim.Config{Spec: spec, Threads: threads, Cores: cores},
+			res, err := sim.Run(context.Background(), sim.Config{Spec: spec, Threads: threads, Cores: cores},
 				wl().Streams(threads))
 			if err != nil {
 				log.Fatal(err)

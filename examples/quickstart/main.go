@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,11 +32,16 @@ func main() {
 	// (fill-processor-first, threads pinned).
 	threads := spec.TotalCores()
 	measure := func(cores int) sim.Result {
-		res, err := sim.Run(sim.Config{
-			Spec:    spec,
-			Threads: threads,
-			Cores:   cores,
-		}, wl.Streams(threads))
+		// Configs are built with functional options; NewConfig validates
+		// every field and reports all problems at once.
+		cfg, err := sim.NewConfig(spec,
+			sim.WithThreads(threads),
+			sim.WithCores(cores),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(context.Background(), cfg, wl.Streams(threads))
 		if err != nil {
 			log.Fatal(err)
 		}

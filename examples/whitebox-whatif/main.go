@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -27,7 +28,7 @@ func main() {
 		log.Fatal(err)
 	}
 	threads := baseSpec.TotalCores()
-	base, err := sim.Run(sim.Config{Spec: baseSpec, Threads: threads, Cores: 1}, wl.Streams(threads))
+	base, err := sim.Run(context.Background(), sim.Config{Spec: baseSpec, Threads: threads, Cores: 1}, wl.Streams(threads))
 	if err != nil {
 		log.Fatal(err)
 	}

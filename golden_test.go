@@ -9,6 +9,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -53,7 +54,7 @@ func TestGoldenFig3(t *testing.T) {
 		t.Skip("golden artifacts skipped in -short mode")
 	}
 	r := experiments.NewRunner(goldenTune)
-	d, err := r.Fig3(machine.IntelUMA8(), []int{1, 2, 4, 8})
+	d, err := r.Fig3(context.Background(), machine.IntelUMA8(), []int{1, 2, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestGoldenTableII(t *testing.T) {
 	}
 	r := experiments.NewRunner(goldenTune)
 	specs := []machine.Spec{machine.IntelUMA8()}
-	d, err := r.TableII(specs)
+	d, err := r.TableII(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,191 @@
+// Package cli centralizes the flag surface and lifecycle wiring shared by
+// the cmd/* drivers: machine/program/class selection, workload scale, the
+// worker-pool bound, telemetry sinks (-trace-out, -debug-addr), the sweep
+// resume journal (-resume), and signal-driven context cancellation.
+//
+// Before this package each driver re-declared the same flags with subtly
+// different help strings and re-implemented the tracer/debug-server/cache
+// plumbing; a new cross-cutting flag meant six edits. Now a flag lands
+// here once and every driver picks it up by calling the matching
+// register method.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Common holds the values of the shared flags a driver opted into. Zero
+// value plus the Register* calls the driver needs, then flag.Parse, then
+// the accessor/builder methods.
+type Common struct {
+	Machine   string
+	Program   string
+	Class     string
+	Scale     float64
+	Jobs      int
+	Verbose   bool
+	TraceOut  string
+	DebugAddr string
+	Resume    string
+}
+
+// RegisterMachine adds -machine restricted to a single preset.
+func (c *Common) RegisterMachine(def string) {
+	flag.StringVar(&c.Machine, "machine", def, "machine preset: "+strings.Join(machine.Names(), ", "))
+}
+
+// RegisterMachineAll adds -machine accepting a preset or 'all'.
+func (c *Common) RegisterMachineAll(def string) {
+	flag.StringVar(&c.Machine, "machine", def, "machine preset or 'all': "+strings.Join(machine.Names(), ", "))
+}
+
+// RegisterWorkload adds -program and -class.
+func (c *Common) RegisterWorkload(defProgram, defClass string) {
+	flag.StringVar(&c.Program, "program", defProgram, "program: "+strings.Join(workload.Names(), ", "))
+	flag.StringVar(&c.Class, "class", defClass, "problem class (S W A B C for NPB; simsmall..native for x264)")
+}
+
+// RegisterScale adds -scale.
+func (c *Common) RegisterScale() {
+	flag.Float64Var(&c.Scale, "scale", 1.0, "workload iteration scale (lower = faster, noisier)")
+}
+
+// RegisterJobs adds -jobs.
+func (c *Common) RegisterJobs() {
+	flag.IntVar(&c.Jobs, "jobs", 0, "max concurrent simulations (0 = GOMAXPROCS); results are identical at any setting")
+}
+
+// RegisterVerbose adds -v.
+func (c *Common) RegisterVerbose() {
+	flag.BoolVar(&c.Verbose, "v", false, "log each simulation run with progress counter and timing")
+}
+
+// RegisterTelemetry adds -trace-out and -debug-addr.
+func (c *Common) RegisterTelemetry() {
+	flag.StringVar(&c.TraceOut, "trace-out", "", "write one NDJSON runner.span per served run (sim|dedup|cache|resumed) to this file")
+	flag.StringVar(&c.DebugAddr, "debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+}
+
+// RegisterResume adds -resume: the append-only sweep journal that lets a
+// killed run restart without re-simulating completed work.
+func (c *Common) RegisterResume() {
+	flag.StringVar(&c.Resume, "resume", "", "resume journal file: completed runs are appended as they finish and replayed on restart, so a killed sweep re-simulates only the remainder")
+}
+
+// Spec resolves -machine to a single preset.
+func (c *Common) Spec() (machine.Spec, error) {
+	return machine.ByName(c.Machine)
+}
+
+// Machines resolves -machine, accepting 'all'.
+func (c *Common) Machines() ([]machine.Spec, error) {
+	if c.Machine == "all" {
+		return machine.All(), nil
+	}
+	spec, err := machine.ByName(c.Machine)
+	if err != nil {
+		return nil, err
+	}
+	return []machine.Spec{spec}, nil
+}
+
+// WorkloadClass returns -class as a workload.Class.
+func (c *Common) WorkloadClass() workload.Class { return workload.Class(c.Class) }
+
+// Tuning returns the workload tuning implied by -scale.
+func (c *Common) Tuning() workload.Tuning { return workload.Tuning{RefScale: c.Scale} }
+
+// SignalContext returns a context canceled on SIGINT/SIGTERM, so Ctrl-C
+// (or the CI resilience job's kill) propagates through the runner into
+// every in-flight simulation instead of tearing the process down
+// mid-write. A second signal falls back to the default handler and kills
+// the process outright.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+}
+
+// NewRunner builds an experiments.Runner wired from the registered flags:
+// Jobs from -jobs, Progress from -v, an NDJSON tracer from -trace-out, a
+// metrics registry plus debug HTTP server from -debug-addr, and the
+// resume journal from -resume (replayed entries are logged to stderr).
+// The returned cleanup closes what was opened; call it before exit.
+func (c *Common) NewRunner() (*experiments.Runner, func(), error) {
+	r := experiments.NewRunner(c.Tuning())
+	r.Jobs = c.Jobs
+	if c.Verbose {
+		r.Progress = os.Stderr
+	}
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	fail := func(err error) (*experiments.Runner, func(), error) {
+		cleanup()
+		return nil, nil, err
+	}
+	if c.TraceOut != "" {
+		f, err := os.Create(c.TraceOut)
+		if err != nil {
+			return fail(err)
+		}
+		cleanups = append(cleanups, func() { f.Close() })
+		r.Tracer = telemetry.NewTracer(f)
+	}
+	if c.DebugAddr != "" {
+		r.Metrics = telemetry.NewRegistry()
+		addr, stop, err := telemetry.StartDebugServer(c.DebugAddr, r.Metrics)
+		if err != nil {
+			return fail(err)
+		}
+		cleanups = append(cleanups, func() { stop() })
+		fmt.Fprintf(os.Stderr, "debug server listening on %s\n", addr)
+	}
+	if c.Resume != "" {
+		// The journal needs a Progress writer for its warnings even when
+		// -v is off; skipped-line warnings must never be silent.
+		if r.Progress == nil {
+			r.Progress = os.Stderr
+		}
+		resumed, skipped, err := r.AttachJournal(c.Resume)
+		if err != nil {
+			return fail(err)
+		}
+		cleanups = append(cleanups, func() { r.CloseJournal() })
+		if resumed > 0 || skipped > 0 {
+			fmt.Fprintf(os.Stderr, "resume: replayed %d runs from %s (%d lines skipped)\n",
+				resumed, c.Resume, skipped)
+		}
+	}
+	return r, cleanup, nil
+}
+
+// Fatal prints "tool: err" and exits 1, the drivers' shared error exit.
+// A cancellation (Ctrl-C or SIGTERM) exits 130 in the shell convention
+// for interrupt death, which the CI resilience job keys on.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	if errors.Is(err, context.Canceled) || errors.Is(err, sim.ErrCanceled) {
+		os.Exit(130)
+	}
+	os.Exit(1)
+}
+
+// Errorf is Fatal with formatting.
+func Errorf(tool, format string, args ...any) {
+	Fatal(tool, fmt.Errorf(format, args...))
+}

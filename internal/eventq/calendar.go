@@ -278,3 +278,38 @@ func (q *Queue) RunWhile(cond func() bool) {
 	for cond() && q.Step() {
 	}
 }
+
+// RunChecked executes events until the queue is empty, consulting cont
+// every `every` dispatched events and stopping when it returns false.
+func (q *Queue) RunChecked(every uint64, cont func() bool) {
+	if every == 0 {
+		q.Run()
+		return
+	}
+	for {
+		for i := uint64(0); i < every; i++ {
+			if !q.Step() {
+				return
+			}
+		}
+		if !cont() {
+			return
+		}
+	}
+}
+
+// Drain discards every pending event and returns the number dropped. The
+// bucket storage (and its high-water capacity) is retained for reuse.
+func (q *Queue) Drain() int {
+	n := q.n
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		for j := b.head; j < len(b.ev); j++ {
+			b.ev[j] = event{}
+		}
+		b.ev = b.ev[:0]
+		b.head = 0
+	}
+	q.n = 0
+	return n
+}

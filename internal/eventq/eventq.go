@@ -60,6 +60,18 @@ type Interface interface {
 	RunUntil(t uint64)
 	// RunWhile executes events while cond() returns true and events remain.
 	RunWhile(cond func() bool)
+	// RunChecked executes events until the queue is empty, invoking cont
+	// after every `every` dispatched events and stopping early when it
+	// returns false. It is the cancellation-aware run loop: the caller's
+	// check latency is bounded by `every` events while the steady-state
+	// dispatch stays inside the concrete implementation (and therefore
+	// allocation-free). every == 0 behaves like Run (no checks).
+	RunChecked(every uint64, cont func() bool)
+	// Drain discards every pending event without running it and returns
+	// the number dropped. A canceled simulation drains its queue so pooled
+	// callbacks (and anything they capture) are released immediately; the
+	// queue remains usable afterwards.
+	Drain() int
 }
 
 // Kind selects an event-queue implementation.

@@ -219,7 +219,9 @@ func TestCalendarResizeKeepsOrder(t *testing.T) {
 
 // TestZeroAllocSteadyState pins the tentpole's zero-allocation contract:
 // once warmed up, scheduling and dispatching events allocates nothing, for
-// both implementations.
+// both implementations — including when the dispatch loop runs with
+// cancellation checks enabled (RunChecked with a non-blocking Done-channel
+// probe, exactly what a context-carrying sim.Run does).
 func TestZeroAllocSteadyState(t *testing.T) {
 	kinds(t, func(t *testing.T, newQ func() Interface) {
 		q := newQ()
@@ -229,14 +231,94 @@ func TestZeroAllocSteadyState(t *testing.T) {
 			q.After(uint64(i%257), fn)
 		}
 		q.Run()
-		avg := testing.AllocsPerRun(100, func() {
-			for i := 0; i < 64; i++ {
-				q.After(uint64(i%257), fn)
+		// The check closure mirrors sim.Run's cancellation probe: a
+		// non-blocking receive on a Done channel. Built once, outside the
+		// measured region.
+		done := make(chan struct{})
+		cont := func() bool {
+			select {
+			case <-done:
+				return false
+			default:
+				return true
 			}
-			q.Run()
+		}
+		for name, drive := range map[string]func(){
+			"Run":        func() { q.Run() },
+			"RunChecked": func() { q.RunChecked(8, cont) },
+		} {
+			avg := testing.AllocsPerRun(100, func() {
+				for i := 0; i < 64; i++ {
+					q.After(uint64(i%257), fn)
+				}
+				drive()
+			})
+			if avg != 0 {
+				t.Errorf("%s: steady-state allocs per 64-event batch = %v, want 0", name, avg)
+			}
+		}
+	})
+}
+
+// TestRunChecked verifies the bounded-latency contract: cont is consulted
+// every `every` events, and a false return stops dispatch within that
+// window, leaving the remaining events pending.
+func TestRunChecked(t *testing.T) {
+	kinds(t, func(t *testing.T, newQ func() Interface) {
+		q := newQ()
+		ran := 0
+		for i := 0; i < 100; i++ {
+			q.At(uint64(i), func() { ran++ })
+		}
+		checks := 0
+		q.RunChecked(10, func() bool {
+			checks++
+			return checks < 3 // stop at the third check
 		})
-		if avg != 0 {
-			t.Errorf("steady-state allocs per 64-event batch = %v, want 0", avg)
+		if ran != 30 {
+			t.Errorf("dispatched %d events before stop, want 30", ran)
+		}
+		if q.Len() != 70 {
+			t.Errorf("pending after stop = %d, want 70", q.Len())
+		}
+		// every == 0 falls back to an uncheckable full run.
+		q.RunChecked(0, func() bool { t.Fatal("cont called with every=0"); return false })
+		if ran != 100 || q.Len() != 0 {
+			t.Errorf("full run after stop: ran=%d pending=%d", ran, q.Len())
+		}
+	})
+}
+
+// TestDrain verifies drain-on-cancel: pending events are discarded without
+// running, the count is reported, and the queue remains usable.
+func TestDrain(t *testing.T) {
+	kinds(t, func(t *testing.T, newQ func() Interface) {
+		q := newQ()
+		ran := 0
+		for i := 0; i < 50; i++ {
+			q.At(uint64(i*3), func() { ran++ })
+		}
+		q.RunChecked(10, func() bool { return false })
+		if ran != 10 {
+			t.Fatalf("ran %d before cancel, want 10", ran)
+		}
+		if n := q.Drain(); n != 40 {
+			t.Errorf("Drain() = %d, want 40", n)
+		}
+		if q.Len() != 0 {
+			t.Errorf("Len after drain = %d, want 0", q.Len())
+		}
+		if ran != 10 {
+			t.Errorf("drain ran events: ran = %d, want 10", ran)
+		}
+		// The queue is reusable after a drain.
+		q.After(5, func() { ran++ })
+		q.Run()
+		if ran != 11 {
+			t.Errorf("post-drain event did not run: ran = %d", ran)
+		}
+		if n := q.Drain(); n != 0 {
+			t.Errorf("Drain of empty queue = %d, want 0", n)
 		}
 	})
 }

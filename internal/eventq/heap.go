@@ -117,3 +117,33 @@ func (q *HeapQueue) RunWhile(cond func() bool) {
 	for cond() && q.Step() {
 	}
 }
+
+// RunChecked executes events until the queue is empty, consulting cont
+// every `every` dispatched events and stopping when it returns false.
+func (q *HeapQueue) RunChecked(every uint64, cont func() bool) {
+	if every == 0 {
+		q.Run()
+		return
+	}
+	for {
+		for i := uint64(0); i < every; i++ {
+			if !q.Step() {
+				return
+			}
+		}
+		if !cont() {
+			return
+		}
+	}
+}
+
+// Drain discards every pending event and returns the number dropped. The
+// item storage is retained for reuse.
+func (q *HeapQueue) Drain() int {
+	n := len(q.items)
+	for i := range q.items {
+		q.items[i] = event{}
+	}
+	q.items = q.items[:0]
+	return n
+}

@@ -24,7 +24,7 @@ import (
 
 // cacheEntry is the serialized form of one run.
 type cacheEntry struct {
-	Key    runKey     `json:"key"`
+	Key    RunKey     `json:"key"`
 	Result sim.Result `json:"result"`
 }
 

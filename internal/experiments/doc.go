@@ -39,6 +39,37 @@
 //     Writes are serialized by the Runner, so an os.File or bytes.Buffer
 //     is fine as-is.
 //
+// # Cancellation, resume and fault isolation
+//
+// Every batch API is context-first. Cancelling the context aborts a call
+// at whichever of its three blocking points it has reached — waiting for
+// a worker slot, waiting on a coalesced in-flight run, or inside the
+// simulator's event loop (which polls ctx.Done() every
+// sim.DefaultCancelEvery events, so cancellation latency is bounded).
+// Runs that completed before the cancellation stay cached and journaled;
+// RunAll always returns its results slice so callers keep the partial
+// results.
+//
+//   - Resume journal: AttachJournal arms an append-only NDJSON journal
+//     (see journal.go for the format) that records every fresh simulation
+//     as it completes. Re-attaching the same journal replays completed
+//     runs into the cache — annotated [resumed] — so a killed sweep
+//     restarted with the same plan re-simulates only the remainder and
+//     produces byte-identical artifacts (results are deterministic and
+//     round-trip exactly through JSON). Corrupt or truncated lines (a
+//     kill can tear at most the final line) are skipped with a warning
+//     and re-simulated.
+//
+//   - Panic isolation: a panic in a simulation worker — or in the
+//     FaultFn test hook — is recovered into a *WorkerPanicError carrying
+//     the stack and confined to its own run; other workers, the cache and
+//     the pool are unaffected, and the failed key can be retried.
+//
+//   - Fault injection: Runner.FaultFn, when set, is consulted at
+//     FaultBeforeSim and FaultJournalWrite with the run key, letting
+//     tests deterministically inject panics, cancellations and journal
+//     write failures. Production code leaves it nil.
+//
 // Each table/figure driver builds its whole measurement plan up front and
 // submits it through RunAll/SweepAsync, so independent runs overlap up to
 // the Jobs bound while shared runs (e.g. the CG.C sweep feeding Fig. 3,

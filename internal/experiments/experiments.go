@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -41,12 +42,12 @@ var tableIIPrograms = []string{"EP", "IS", "FT", "CG", "SP"}
 // all cores of each machine. The whole machine×size×program×cores matrix
 // is one measurement plan, submitted at once and executed with up to Jobs
 // concurrent simulations.
-func (r *Runner) TableII(specs []machine.Spec) (TableIIData, error) {
+func (r *Runner) TableII(ctx context.Context, specs []machine.Spec) (TableIIData, error) {
 	// cellAt maps each output cell to its run and 1-core baseline in the
 	// plan, so results assemble in the paper's row order regardless of
 	// execution interleaving.
 	type cellAt struct {
-		cell          TableIICell
+		cell            TableIICell
 		baseIdx, runIdx int
 	}
 	var plan []RunItem
@@ -69,7 +70,7 @@ func (r *Runner) TableII(specs []machine.Spec) (TableIIData, error) {
 			}
 		}
 	}
-	results, err := r.RunAll(plan)
+	results, err := r.RunAll(ctx, plan)
 	if err != nil {
 		return TableIIData{}, err
 	}
@@ -109,12 +110,12 @@ type Fig3Data struct {
 
 // Fig3 sweeps CG.C over the given core counts on one machine, submitting
 // the sweep as one concurrent plan.
-func (r *Runner) Fig3(spec machine.Spec, coreCounts []int) (Fig3Data, error) {
+func (r *Runner) Fig3(ctx context.Context, spec machine.Spec, coreCounts []int) (Fig3Data, error) {
 	plan := make([]RunItem, len(coreCounts))
 	for i, n := range coreCounts {
 		plan[i] = RunItem{Spec: spec, Program: "CG", Class: workload.C, Cores: n}
 	}
-	results, err := r.RunAll(plan)
+	results, err := r.RunAll(ctx, plan)
 	if err != nil {
 		return Fig3Data{}, err
 	}
@@ -182,7 +183,7 @@ type Fig4Series struct {
 // of the cache key), but the nine subjects still execute concurrently
 // under the worker-pool bound and the series come back in the paper's
 // order.
-func (r *Runner) Fig4(spec machine.Spec) ([]Fig4Series, error) {
+func (r *Runner) Fig4(ctx context.Context, spec machine.Spec) ([]Fig4Series, error) {
 	subjects := []struct {
 		program string
 		classes []workload.Class
@@ -203,7 +204,7 @@ func (r *Runner) Fig4(spec machine.Spec) ([]Fig4Series, error) {
 	series := make([]Fig4Series, len(order))
 	err := parallelEach(len(order), func(i int) error {
 		subj := order[i]
-		s, err := r.runSampled(spec, subj.program, subj.class)
+		s, err := r.runSampled(ctx, spec, subj.program, subj.class)
 		if err != nil {
 			return err
 		}
@@ -255,7 +256,7 @@ func parallelEach(n int, fn func(i int) error) error {
 // runSampled executes one run with the paper's 5 µs sampler attached.
 // Sampled runs are not cached (the hook is not part of the cache key) but
 // still count against the worker-pool bound via RunConfig.
-func (r *Runner) runSampled(spec machine.Spec, program string, class workload.Class) (*sampler.Sampler, error) {
+func (r *Runner) runSampled(ctx context.Context, spec machine.Spec, program string, class workload.Class) (*sampler.Sampler, error) {
 	// The paper samples every 5 µs of real-machine time. Our machines and
 	// problem classes are scaled down by machine.CacheScale, which
 	// compresses phase durations by roughly the same factor, so the
@@ -266,7 +267,7 @@ func (r *Runner) runSampled(spec machine.Spec, program string, class workload.Cl
 		return nil, err
 	}
 	threads := spec.TotalCores()
-	res, err := r.RunConfig(sim.Config{
+	res, err := r.RunConfig(ctx, sim.Config{
 		Spec:     spec,
 		Threads:  threads,
 		Cores:    threads,
@@ -299,11 +300,11 @@ type ModelFig struct {
 // validates it against a measured sweep. The fit-plan runs and the
 // validation sweep are submitted together, so they overlap (and share
 // their common core counts) instead of executing back to back.
-func (r *Runner) ModelVsMeasurement(spec machine.Spec, program string, class workload.Class, coreCounts []int, opts core.Options) (ModelFig, error) {
+func (r *Runner) ModelVsMeasurement(ctx context.Context, spec machine.Spec, program string, class workload.Class, coreCounts []int, opts core.Options) (ModelFig, error) {
 	kind := ModelKindFor(spec)
 	plan := core.PaperInputs(kind, spec.Sockets, spec.CoresPerSocket)
-	fitWait := r.SweepAsync(spec, program, class, plan)
-	sweepWait := r.SweepAsync(spec, program, class, coreCounts)
+	fitWait := r.SweepAsync(ctx, spec, program, class, plan)
+	sweepWait := r.SweepAsync(ctx, spec, program, class, coreCounts)
 	fitMeas, err := fitWait()
 	if err != nil {
 		return ModelFig{}, err
@@ -331,13 +332,13 @@ func (r *Runner) ModelVsMeasurement(spec machine.Spec, program string, class wor
 }
 
 // Fig5 is the high-contention validation (CG.C).
-func (r *Runner) Fig5(spec machine.Spec, coreCounts []int) (ModelFig, error) {
-	return r.ModelVsMeasurement(spec, "CG", workload.C, coreCounts, core.Options{})
+func (r *Runner) Fig5(ctx context.Context, spec machine.Spec, coreCounts []int) (ModelFig, error) {
+	return r.ModelVsMeasurement(ctx, spec, "CG", workload.C, coreCounts, core.Options{})
 }
 
 // Fig6 is the low-contention validation (EP.C).
-func (r *Runner) Fig6(spec machine.Spec, coreCounts []int) (ModelFig, error) {
-	return r.ModelVsMeasurement(spec, "EP", workload.C, coreCounts, core.Options{})
+func (r *Runner) Fig6(ctx context.Context, spec machine.Spec, coreCounts []int) (ModelFig, error) {
+	return r.ModelVsMeasurement(ctx, spec, "EP", workload.C, coreCounts, core.Options{})
 }
 
 // ---------------------------------------------------------------------------
@@ -368,7 +369,7 @@ var tableIVSubjects = []struct {
 // TableIV computes the 1/C(n) linearity R² over n = 1..4 on UMA machines
 // and n = 1..12 on NUMA machines, as in the paper. All machine×program
 // sweeps are submitted up front and collected in table order.
-func (r *Runner) TableIV(specs []machine.Spec) ([]TableIVCell, error) {
+func (r *Runner) TableIV(ctx context.Context, specs []machine.Spec) ([]TableIVCell, error) {
 	type pending struct {
 		cell TableIVCell
 		wait func() ([]core.Measurement, error)
@@ -389,7 +390,7 @@ func (r *Runner) TableIV(specs []machine.Spec) ([]TableIVCell, error) {
 		for _, subj := range tableIVSubjects {
 			waits = append(waits, pending{
 				cell: TableIVCell{Machine: spec.Name, Program: subj.Program, Class: subj.Class},
-				wait: r.SweepAsync(spec, subj.Program, subj.Class, counts),
+				wait: r.SweepAsync(ctx, spec, subj.Program, subj.Class, counts),
 			})
 		}
 	}
@@ -425,12 +426,12 @@ type AblationInputsResult struct {
 
 // AblationInputs reproduces the paper's observation that assuming
 // homogeneous interconnect latencies on the AMD machine degrades accuracy.
-func (r *Runner) AblationInputs(spec machine.Spec, coreCounts []int) (AblationInputsResult, error) {
-	het, err := r.ModelVsMeasurement(spec, "CG", workload.C, coreCounts, core.Options{})
+func (r *Runner) AblationInputs(ctx context.Context, spec machine.Spec, coreCounts []int) (AblationInputsResult, error) {
+	het, err := r.ModelVsMeasurement(ctx, spec, "CG", workload.C, coreCounts, core.Options{})
 	if err != nil {
 		return AblationInputsResult{}, err
 	}
-	hom, err := r.ModelVsMeasurement(spec, "CG", workload.C, coreCounts, core.Options{Homogeneous: true})
+	hom, err := r.ModelVsMeasurement(ctx, spec, "CG", workload.C, coreCounts, core.Options{Homogeneous: true})
 	if err != nil {
 		return AblationInputsResult{}, err
 	}
@@ -461,13 +462,13 @@ type AblationControllerResult struct {
 
 // AblationController runs CG.C at full core count under both disciplines
 // (the paper lists service discipline among the model extensions).
-func (r *Runner) AblationController(spec machine.Spec) (AblationControllerResult, error) {
+func (r *Runner) AblationController(ctx context.Context, spec machine.Spec) (AblationControllerResult, error) {
 	runBoth := func(disc memctrl.Discipline) (base, full sim.Result, err error) {
 		s := spec
 		s.MC.Discipline = disc
 		threads := s.TotalCores()
 		for _, cores := range []int{1, threads} {
-			res, rerr := r.RunConfig(sim.Config{Spec: s, Threads: threads, Cores: cores}, "CG", workload.C)
+			res, rerr := r.RunConfig(ctx, sim.Config{Spec: s, Threads: threads, Cores: cores}, "CG", workload.C)
 			if rerr != nil {
 				return base, full, rerr
 			}
@@ -528,13 +529,13 @@ type AblationClosedResult struct {
 // machine and compares their fit quality over the full single-socket sweep.
 // The closed model self-throttles and cannot reproduce the hockey-stick
 // growth, which is why the paper's open M/M/1 wins for contended programs.
-func (r *Runner) AblationClosedModel(spec machine.Spec, program string, class workload.Class) (AblationClosedResult, error) {
+func (r *Runner) AblationClosedModel(ctx context.Context, spec machine.Spec, program string, class workload.Class) (AblationClosedResult, error) {
 	c := spec.CoresPerSocket
 	var counts []int
 	for n := 1; n <= c; n++ {
 		counts = append(counts, n)
 	}
-	sweep, err := r.Sweep(spec, program, class, counts)
+	sweep, err := r.Sweep(ctx, spec, program, class, counts)
 	if err != nil {
 		return AblationClosedResult{}, err
 	}

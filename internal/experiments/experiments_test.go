@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -16,11 +17,11 @@ var quickTune = workload.Tuning{RefScale: 0.05}
 func TestRunnerCaching(t *testing.T) {
 	r := NewRunner(quickTune)
 	spec := machine.IntelUMA8()
-	res1, err := r.Run(spec, "CG", workload.W, 2)
+	res1, err := r.Run(context.Background(), spec, "CG", workload.W, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := r.Run(spec, "CG", workload.W, 2)
+	res2, err := r.Run(context.Background(), spec, "CG", workload.W, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestRunnerCaching(t *testing.T) {
 
 func TestRunnerUnknownWorkload(t *testing.T) {
 	r := NewRunner(quickTune)
-	if _, err := r.Run(machine.IntelUMA8(), "nope", workload.C, 1); err == nil {
+	if _, err := r.Run(context.Background(), machine.IntelUMA8(), "nope", workload.C, 1); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
@@ -42,7 +43,7 @@ func TestRunnerUnknownWorkload(t *testing.T) {
 func TestSweepAndMeasure(t *testing.T) {
 	r := NewRunner(quickTune)
 	spec := machine.IntelUMA8()
-	meas, err := r.Sweep(spec, "CG", workload.W, []int{1, 2, 4})
+	meas, err := r.Sweep(context.Background(), spec, "CG", workload.W, []int{1, 2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestFig3SmallMachine(t *testing.T) {
 	}
 	r := NewRunner(quickTune)
 	spec := machine.IntelUMA8()
-	d, err := r.Fig3(spec, []int{1, 4, 8})
+	d, err := r.Fig3(context.Background(), spec, []int{1, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestFig5UMA(t *testing.T) {
 	}
 	r := NewRunner(quickTune)
 	spec := machine.IntelUMA8()
-	fig, err := r.Fig5(spec, []int{1, 2, 4, 5, 8})
+	fig, err := r.Fig5(context.Background(), spec, []int{1, 2, 4, 5, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestFig4SmallMachine(t *testing.T) {
 	// Run Fig.4's sampling path on the UMA machine (cheapest) with tiny
 	// tuning: verifies sampler wiring and burst analysis end to end.
 	r := NewRunner(workload.Tuning{RefScale: 0.02})
-	series, err := r.Fig4(machine.IntelUMA8())
+	series, err := r.Fig4(context.Background(), machine.IntelUMA8())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestAblationClosedModel(t *testing.T) {
 		t.Skip("simulation-heavy; skipped in -short mode")
 	}
 	r := NewRunner(quickTune)
-	res, err := r.AblationClosedModel(machine.IntelUMA8(), "CG", workload.C)
+	res, err := r.AblationClosedModel(context.Background(), machine.IntelUMA8(), "CG", workload.C)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -30,13 +31,13 @@ type OversubPoint struct {
 // thread counts of 1x, 2x and 4x the cores. The three factors execute
 // concurrently (thread count is not part of the run cache key, so these
 // go through the uncached RunConfig path).
-func (r *Runner) Oversubscription(spec machine.Spec, program string, class workload.Class) ([]OversubPoint, error) {
+func (r *Runner) Oversubscription(ctx context.Context, spec machine.Spec, program string, class workload.Class) ([]OversubPoint, error) {
 	cores := spec.TotalCores()
 	factors := []int{1, 2, 4}
 	points := make([]OversubPoint, len(factors))
 	err := parallelEach(len(factors), func(i int) error {
 		threads := cores * factors[i]
-		res, err := r.RunConfig(sim.Config{Spec: spec, Threads: threads, Cores: cores}, program, class)
+		res, err := r.RunConfig(ctx, sim.Config{Spec: spec, Threads: threads, Cores: cores}, program, class)
 		if err != nil {
 			return err
 		}
@@ -80,7 +81,7 @@ type SensitivityPoint struct {
 
 // Sensitivity measures program.class contention at full core count across
 // parameter variants of the base machine.
-func (r *Runner) Sensitivity(spec machine.Spec, program string, class workload.Class) ([]SensitivityPoint, error) {
+func (r *Runner) Sensitivity(ctx context.Context, spec machine.Spec, program string, class workload.Class) ([]SensitivityPoint, error) {
 	variants := []struct {
 		label  string
 		mutate func(*machine.Spec)
@@ -104,7 +105,7 @@ func (r *Runner) Sensitivity(spec machine.Spec, program string, class workload.C
 		// concurrent reads.
 		s.Levels = append([]machine.CacheLevel(nil), spec.Levels...)
 		variants[i].mutate(&s)
-		omega, err := r.omegaFullMachine(s, program, class)
+		omega, err := r.omegaFullMachine(ctx, s, program, class)
 		if err != nil {
 			return err
 		}
@@ -120,7 +121,7 @@ func (r *Runner) Sensitivity(spec machine.Spec, program string, class workload.C
 // omegaFullMachine measures ω(totalCores) directly (bypassing the cache:
 // variant machines share a name with the baseline). The base and full runs
 // execute concurrently under the worker-pool bound.
-func (r *Runner) omegaFullMachine(spec machine.Spec, program string, class workload.Class) (float64, error) {
+func (r *Runner) omegaFullMachine(ctx context.Context, spec machine.Spec, program string, class workload.Class) (float64, error) {
 	threads := spec.TotalCores()
 	var base, full sim.Result
 	err := parallelEach(2, func(i int) error {
@@ -128,7 +129,7 @@ func (r *Runner) omegaFullMachine(spec machine.Spec, program string, class workl
 		if i == 1 {
 			cores = threads
 		}
-		res, err := r.RunConfig(sim.Config{Spec: spec, Threads: threads, Cores: cores}, program, class)
+		res, err := r.RunConfig(ctx, sim.Config{Spec: spec, Threads: threads, Cores: cores}, program, class)
 		if err != nil {
 			return err
 		}
@@ -173,9 +174,9 @@ type SpeedupData struct {
 
 // SpeedupStudy fits the contention model from the paper's input plan and
 // compares predicted speedups n/(1+ω(n)) against the measured sweep.
-func (r *Runner) SpeedupStudy(spec machine.Spec, program string, class workload.Class, coreCounts []int) (SpeedupData, error) {
-	sweepWait := r.SweepAsync(spec, program, class, coreCounts)
-	model, _, err := r.FitFromPlan(spec, program, class, core.Options{})
+func (r *Runner) SpeedupStudy(ctx context.Context, spec machine.Spec, program string, class workload.Class, coreCounts []int) (SpeedupData, error) {
+	sweepWait := r.SweepAsync(ctx, spec, program, class, coreCounts)
+	model, _, err := r.FitFromPlan(ctx, spec, program, class, core.Options{})
 	if err != nil {
 		return SpeedupData{}, err
 	}
@@ -232,9 +233,9 @@ type WhiteBoxData struct {
 
 // WhiteBoxStudy builds the workload profile from the 1-core run and
 // validates the parameter-derived model over the sweep.
-func (r *Runner) WhiteBoxStudy(spec machine.Spec, program string, class workload.Class, coreCounts []int) (WhiteBoxData, error) {
-	sweepWait := r.SweepAsync(spec, program, class, coreCounts)
-	base, err := r.Run(spec, program, class, 1)
+func (r *Runner) WhiteBoxStudy(ctx context.Context, spec machine.Spec, program string, class workload.Class, coreCounts []int) (WhiteBoxData, error) {
+	sweepWait := r.SweepAsync(ctx, spec, program, class, coreCounts)
+	base, err := r.Run(ctx, spec, program, class, 1)
 	if err != nil {
 		return WhiteBoxData{}, err
 	}

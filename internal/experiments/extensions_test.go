@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -18,7 +19,7 @@ func TestOversubscription(t *testing.T) {
 	}
 	r := NewRunner(workload.Tuning{RefScale: 0.02})
 	spec := machine.IntelUMA8()
-	points, err := r.Oversubscription(spec, "CG", workload.W)
+	points, err := r.Oversubscription(context.Background(), spec, "CG", workload.W)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestSensitivity(t *testing.T) {
 	}
 	r := NewRunner(workload.Tuning{RefScale: 0.1})
 	spec := machine.IntelUMA8()
-	points, err := r.Sensitivity(spec, "CG", workload.W)
+	points, err := r.Sensitivity(context.Background(), spec, "CG", workload.W)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestSpeedupStudy(t *testing.T) {
 	}
 	r := NewRunner(workload.Tuning{RefScale: 0.1})
 	spec := machine.IntelUMA8()
-	d, err := r.SpeedupStudy(spec, "CG", workload.B, []int{1, 2, 4, 5, 8})
+	d, err := r.SpeedupStudy(context.Background(), spec, "CG", workload.B, []int{1, 2, 4, 5, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestDatFiles(t *testing.T) {
 
 	// Fig5-style file through the real pipeline on the tiny tune.
 	r := NewRunner(workload.Tuning{RefScale: 0.05})
-	fig, err := r.Fig5(machine.IntelUMA8(), []int{1, 4, 8})
+	fig, err := r.Fig5(context.Background(), machine.IntelUMA8(), []int{1, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestWhiteBoxStudy(t *testing.T) {
 	}
 	r := NewRunner(workload.Tuning{RefScale: 0.1})
 	spec := machine.IntelUMA8()
-	d, err := r.WhiteBoxStudy(spec, "CG", workload.B, []int{1, 4, 8})
+	d, err := r.WhiteBoxStudy(context.Background(), spec, "CG", workload.B, []int{1, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestRunnerPersistentCache(t *testing.T) {
 	path := filepath.Join(dir, "runs.json")
 	r1 := NewRunner(workload.Tuning{RefScale: 0.05})
 	spec := machine.IntelUMA8()
-	res1, err := r1.Run(spec, "CG", workload.W, 2)
+	res1, err := r1.Run(context.Background(), spec, "CG", workload.W, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestRunnerPersistentCache(t *testing.T) {
 	// Poison r2's tuning so an actual re-simulation would error out: a
 	// cache hit must bypass workload construction entirely... instead,
 	// prove the hit by checking the runner does not grow its cache.
-	res2, err := r2.Run(spec, "CG", workload.W, 2)
+	res2, err := r2.Run(context.Background(), spec, "CG", workload.W, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -21,16 +24,19 @@ import (
 // A Runner is safe for concurrent use. Cached runs are served without
 // re-simulating; concurrent requests for the same not-yet-cached run block
 // on a single in-flight simulation (singleflight) instead of duplicating
-// it. At most Jobs simulations execute at once. See doc.go for the full
-// concurrency contract.
+// it. At most Jobs simulations execute at once. Every batch API takes a
+// context.Context: cancellation propagates into queued work (waiting for a
+// worker slot), coalesced waits, and the simulator's own event loop. See
+// doc.go for the full concurrency and fault contract.
 type Runner struct {
 	// Tuning scales workload iteration counts (1.0 for full fidelity).
 	Tuning workload.Tuning
 	// Progress, when non-nil, receives one line per served run with a
 	// completed/submitted counter, an outcome annotation — [sim] for a
 	// fresh simulation, [dedup] for a singleflight-coalesced wait, [cache]
-	// for a cache hit — and, for sim and dedup, the wall-clock duration.
-	// Writes are serialized by the Runner; the writer itself need not be
+	// for a cache hit, [resumed] for a hit served from a resume journal —
+	// and, for sim and dedup, the wall-clock duration. Writes are
+	// serialized by the Runner; the writer itself need not be
 	// goroutine-safe.
 	Progress io.Writer
 	// Jobs bounds the number of simulations executing concurrently.
@@ -39,17 +45,35 @@ type Runner struct {
 	Jobs int
 	// Tracer, when non-nil, receives one "runner.span" event per served
 	// run, splitting wall-clock time into worker-queue wait and execute
-	// time and carrying the same sim|dedup|cache outcome as Progress.
+	// time and carrying the same sim|dedup|cache|resumed outcome as
+	// Progress, plus "runner.canceled", "runner.panic" and
+	// "runner.resume" lifecycle events.
 	Tracer *telemetry.Tracer
 	// Metrics, when non-nil, counts served runs by outcome
-	// (runner_sim_total, runner_dedup_total, runner_cache_total) and
-	// feeds the runner_execute_ms histogram.
+	// (runner_sim_total, runner_dedup_total, runner_cache_total,
+	// runner_resumed_total), cancellations and panics
+	// (runner_canceled_total, runner_panic_total), journal write failures
+	// (runner_journal_errors_total), and feeds the runner_execute_ms
+	// histogram.
 	Metrics *telemetry.Registry
+	// FaultFn, when non-nil, is consulted at the named fault points with
+	// the run key; a non-nil return aborts that step with the returned
+	// error, and a panic inside FaultFn propagates exactly like a panic in
+	// the simulation itself. It exists for tests to deterministically
+	// inject worker panics, cancellations and journal-write failures —
+	// production code leaves it nil.
+	FaultFn func(point FaultPoint, key RunKey) error
 
 	mu       sync.Mutex
-	cache    map[runKey]sim.Result
-	inflight map[runKey]*inflightRun
+	cache    map[RunKey]sim.Result
+	inflight map[RunKey]*inflightRun
 	sem      chan struct{}
+	// resumed marks cache keys loaded from a resume journal that have not
+	// yet been served; the first hit on such a key reports [resumed] (and
+	// runner_resumed_total) instead of [cache], so a resumed sweep's logs
+	// account for every journal entry actually used.
+	resumed map[RunKey]bool
+	journal *journal
 
 	// progMu guards the progress counters and serializes Progress writes.
 	progMu    sync.Mutex
@@ -58,8 +82,47 @@ type Runner struct {
 
 	// simulate is the underlying run function; tests override it to count
 	// and fake executions. nil means (*Runner).simulateRun.
-	simulate func(spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error)
+	simulate func(ctx context.Context, spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error)
 }
+
+// FaultPoint names a place where Runner.FaultFn can inject a failure.
+type FaultPoint uint8
+
+const (
+	// FaultBeforeSim fires in the worker goroutine just before the
+	// simulation runs. Returning an error fails the run; panicking
+	// exercises the worker panic isolation.
+	FaultBeforeSim FaultPoint = iota
+	// FaultJournalWrite fires before a journal append. Returning an error
+	// simulates a journal write failure (which is non-fatal: the run still
+	// succeeds, the entry is simply not persisted).
+	FaultJournalWrite
+)
+
+// ErrWorkerPanic is the sentinel a recovered worker panic matches via
+// errors.Is. The concrete error is always a *WorkerPanicError.
+var ErrWorkerPanic = errors.New("experiments: worker panicked")
+
+// WorkerPanicError reports a panic recovered inside a simulation worker.
+// The panic is confined to its run: other workers continue, the runner
+// stays usable, and batch APIs preserve the completed runs' results.
+type WorkerPanicError struct {
+	// Key identifies the run whose worker panicked.
+	Key RunKey
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the panic site.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("experiments: worker panicked running %s %s.%s n=%d: %v",
+		e.Key.Machine, e.Key.Program, e.Key.Class, e.Key.Cores, e.Value)
+}
+
+// Is reports a match against the ErrWorkerPanic sentinel.
+func (e *WorkerPanicError) Is(target error) bool { return target == ErrWorkerPanic }
 
 // inflightRun is one in-flight simulation that duplicate requesters wait
 // on. done is closed after res/err are set.
@@ -69,7 +132,10 @@ type inflightRun struct {
 	err  error
 }
 
-type runKey struct {
+// RunKey identifies one cached simulation: program.class on a machine at
+// one active-core count under one workload scale. It is the cache key,
+// the resume-journal key and the fault-injection coordinate.
+type RunKey struct {
 	Machine string         `json:"machine"`
 	Program string         `json:"program"`
 	Class   workload.Class `json:"class"`
@@ -90,8 +156,8 @@ type RunItem struct {
 func NewRunner(tune workload.Tuning) *Runner {
 	return &Runner{
 		Tuning:   tune,
-		cache:    make(map[runKey]sim.Result),
-		inflight: make(map[runKey]*inflightRun),
+		cache:    make(map[RunKey]sim.Result),
+		inflight: make(map[RunKey]*inflightRun),
 	}
 }
 
@@ -113,14 +179,21 @@ func (r *Runner) workers() chan struct{} {
 // Run simulates program.class on the machine with the given number of
 // active cores (threads fixed at the machine's total cores, per the
 // paper's protocol), caching results. Concurrent calls for the same key
-// share one simulation.
-func (r *Runner) Run(spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
-	key := runKey{Machine: spec.Name, Program: program, Class: class, Cores: cores, Scale: r.Tuning.RefScale}
+// share one simulation. Cancelling ctx aborts the call wherever it is —
+// waiting for a worker slot, waiting on a coalesced run, or mid-simulation
+// (the sim event loop polls ctx every sim.DefaultCancelEvery events).
+func (r *Runner) Run(ctx context.Context, spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
+	key := RunKey{Machine: spec.Name, Program: program, Class: class, Cores: cores, Scale: r.Tuning.RefScale}
 
 	r.mu.Lock()
 	if res, ok := r.cache[key]; ok {
+		outcome := outcomeCache
+		if r.resumed[key] {
+			delete(r.resumed, key)
+			outcome = outcomeResumed
+		}
 		r.mu.Unlock()
-		r.report(outcomeCache, spec, program, class, cores, 0, 0, res)
+		r.report(outcome, spec, program, class, cores, 0, 0, res)
 		return res, nil
 	}
 	if fl, ok := r.inflight[key]; ok {
@@ -128,7 +201,13 @@ func (r *Runner) Run(spec machine.Spec, program string, class workload.Class, co
 		// rather than duplicating the run or blocking the whole cache.
 		r.mu.Unlock()
 		start := time.Now()
-		<-fl.done
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			r.noteCanceled(key, "dedup-wait")
+			return sim.Result{}, fmt.Errorf("experiments: run %s %s.%s n=%d: %w",
+				key.Machine, key.Program, key.Class, key.Cores, ctx.Err())
+		}
 		if fl.err == nil {
 			r.report(outcomeDedup, spec, program, class, cores, time.Since(start), 0, fl.res)
 		}
@@ -136,12 +215,12 @@ func (r *Runner) Run(spec machine.Spec, program string, class workload.Class, co
 	}
 	fl := &inflightRun{done: make(chan struct{})}
 	if r.inflight == nil {
-		r.inflight = make(map[runKey]*inflightRun)
+		r.inflight = make(map[RunKey]*inflightRun)
 	}
 	r.inflight[key] = fl
 	r.mu.Unlock()
 
-	fl.res, fl.err = r.execute(spec, program, class, cores)
+	fl.res, fl.err = r.execute(ctx, key, spec, program, class, cores)
 
 	r.mu.Lock()
 	if fl.err == nil {
@@ -150,22 +229,33 @@ func (r *Runner) Run(spec machine.Spec, program string, class workload.Class, co
 	delete(r.inflight, key)
 	r.mu.Unlock()
 	close(fl.done)
+	if fl.err == nil {
+		r.appendJournal(key, fl.res)
+	}
 	return fl.res, fl.err
 }
 
 // Run outcome annotations for Progress lines, tracer spans and metrics.
 const (
-	outcomeSim   = "sim"   // fresh simulation executed by this call
-	outcomeDedup = "dedup" // waited on another caller's in-flight run
-	outcomeCache = "cache" // served from the in-memory result cache
+	outcomeSim     = "sim"     // fresh simulation executed by this call
+	outcomeDedup   = "dedup"   // waited on another caller's in-flight run
+	outcomeCache   = "cache"   // served from the in-memory result cache
+	outcomeResumed = "resumed" // served from a resume journal (first hit)
 )
 
 // execute performs one simulation under the worker-pool bound and reports
-// progress.
-func (r *Runner) execute(spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
+// progress. Worker panics (including panics from FaultFn) are confined to
+// this run and surface as *WorkerPanicError.
+func (r *Runner) execute(ctx context.Context, key RunKey, spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
 	enqueued := time.Now()
 	sem := r.workers()
-	sem <- struct{}{}
+	select {
+	case sem <- struct{}{}:
+	case <-ctx.Done():
+		r.noteCanceled(key, "queue-wait")
+		return sim.Result{}, fmt.Errorf("experiments: run %s %s.%s n=%d: %w",
+			key.Machine, key.Program, key.Class, key.Cores, ctx.Err())
+	}
 	defer func() { <-sem }()
 	queueWait := time.Since(enqueued)
 
@@ -174,26 +264,78 @@ func (r *Runner) execute(spec machine.Spec, program string, class workload.Class
 	r.progMu.Unlock()
 
 	start := time.Now()
-	simulate := r.simulate
-	if simulate == nil {
-		simulate = r.simulateRun
-	}
-	res, err := simulate(spec, program, class, cores)
+	res, err := r.invoke(ctx, key, spec, program, class, cores)
 
 	r.progMu.Lock()
 	r.completed++
 	r.progMu.Unlock()
-	if err == nil {
+	switch {
+	case err == nil:
 		r.report(outcomeSim, spec, program, class, cores, queueWait, time.Since(start), res)
+	case errors.Is(err, ErrWorkerPanic):
+		r.notePanic(key, err)
+	case errors.Is(err, sim.ErrCanceled) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		r.noteCanceled(key, "simulate")
 	}
 	return res, err
+}
+
+// invoke runs the simulation body with panic isolation: a panic anywhere
+// below — the fault hook, workload construction or the simulator — is
+// recovered into a *WorkerPanicError carrying the stack, leaving every
+// other worker (and the runner itself) untouched.
+func (r *Runner) invoke(ctx context.Context, key RunKey, spec machine.Spec, program string, class workload.Class, cores int) (res sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = sim.Result{}
+			err = &WorkerPanicError{Key: key, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if f := r.FaultFn; f != nil {
+		if ferr := f(FaultBeforeSim, key); ferr != nil {
+			return sim.Result{}, ferr
+		}
+	}
+	simulate := r.simulate
+	if simulate == nil {
+		simulate = r.simulateRun
+	}
+	return simulate(ctx, spec, program, class, cores)
+}
+
+// noteCanceled records one canceled run on the tracer and metrics.
+func (r *Runner) noteCanceled(key RunKey, where string) {
+	if r.Metrics != nil {
+		r.Metrics.Counter("runner_canceled_total").Inc()
+	}
+	if r.Tracer.Enabled() {
+		r.Tracer.Emit("runner.canceled",
+			"machine", key.Machine, "program", key.Program, "class", string(key.Class),
+			"cores", key.Cores, "where", where)
+	}
+}
+
+// notePanic records one recovered worker panic on the tracer, metrics and
+// the progress stream.
+func (r *Runner) notePanic(key RunKey, err error) {
+	if r.Metrics != nil {
+		r.Metrics.Counter("runner_panic_total").Inc()
+	}
+	if r.Tracer.Enabled() {
+		r.Tracer.Emit("runner.panic",
+			"machine", key.Machine, "program", key.Program, "class", string(key.Class),
+			"cores", key.Cores, "error", err.Error())
+	}
+	r.Progressf("WARN worker panic %s %s.%s n=%d: %v\n",
+		key.Machine, key.Program, key.Class, key.Cores, err)
 }
 
 // report fans one served run out to the optional sinks: a Progress line
 // annotated with the outcome, a "runner.span" tracer event splitting
 // worker-queue wait from execute time, and outcome counters plus an
 // execute-time histogram on Metrics. For dedup the wait parameter is the
-// time spent blocked on the coalesced run; cache hits carry no timings.
+// time spent blocked on the coalesced run; cache and resumed hits carry
+// no timings.
 func (r *Runner) report(outcome string, spec machine.Spec, program string, class workload.Class, cores int, wait, exec time.Duration, res sim.Result) {
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	if r.Metrics != nil {
@@ -214,9 +356,9 @@ func (r *Runner) report(outcome string, spec machine.Spec, program string, class
 	if r.Progress == nil {
 		return
 	}
-	if outcome == outcomeCache {
-		fmt.Fprintf(r.Progress, "[%d/%d] run %s %s.%s n=%d [cache]: C=%d misses=%d\n",
-			r.completed, r.submitted, spec.Name, program, class, cores,
+	if outcome == outcomeCache || outcome == outcomeResumed {
+		fmt.Fprintf(r.Progress, "[%d/%d] run %s %s.%s n=%d [%s]: C=%d misses=%d\n",
+			r.completed, r.submitted, spec.Name, program, class, cores, outcome,
 			res.TotalCycles, res.LLCMisses)
 		return
 	}
@@ -226,13 +368,13 @@ func (r *Runner) report(outcome string, spec machine.Spec, program string, class
 }
 
 // simulateRun is the real simulation backend of Run.
-func (r *Runner) simulateRun(spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
+func (r *Runner) simulateRun(ctx context.Context, spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
 	wl, err := workload.NewTuned(program, class, r.Tuning)
 	if err != nil {
 		return sim.Result{}, err
 	}
 	threads := spec.TotalCores()
-	return sim.Run(sim.Config{Spec: spec, Threads: threads, Cores: cores}, wl.Streams(threads))
+	return sim.Run(ctx, sim.Config{Spec: spec, Threads: threads, Cores: cores}, wl.Streams(threads))
 }
 
 // RunConfig executes one simulation with an explicit sim.Config, outside
@@ -240,7 +382,7 @@ func (r *Runner) simulateRun(spec machine.Spec, program string, class workload.C
 // and hooks are not part of the cache key) but still bounded by the worker
 // pool. The config's Threads selects the stream count; zero defaults to
 // the machine's total cores.
-func (r *Runner) RunConfig(cfg sim.Config, program string, class workload.Class) (sim.Result, error) {
+func (r *Runner) RunConfig(ctx context.Context, cfg sim.Config, program string, class workload.Class) (sim.Result, error) {
 	wl, err := workload.NewTuned(program, class, r.Tuning)
 	if err != nil {
 		return sim.Result{}, err
@@ -250,17 +392,25 @@ func (r *Runner) RunConfig(cfg sim.Config, program string, class workload.Class)
 		threads = cfg.Spec.TotalCores()
 	}
 	sem := r.workers()
-	sem <- struct{}{}
+	select {
+	case sem <- struct{}{}:
+	case <-ctx.Done():
+		return sim.Result{}, fmt.Errorf("experiments: run %s %s.%s: %w",
+			cfg.Spec.Name, program, class, ctx.Err())
+	}
 	defer func() { <-sem }()
-	return sim.Run(cfg, wl.Streams(threads))
+	return sim.Run(ctx, cfg, wl.Streams(threads))
 }
 
 // RunAll submits a whole measurement plan at once and collects results in
 // plan order. Up to Jobs simulations run concurrently; duplicate items —
 // within the plan or against other in-flight work — are coalesced by the
-// singleflight layer. On failure it returns the first error in plan order
-// after all items settle, so retries observe a quiescent runner.
-func (r *Runner) RunAll(items []RunItem) ([]sim.Result, error) {
+// singleflight layer. It always returns the results slice: on failure the
+// completed items keep their results (failed slots are zero), alongside
+// the first error in plan order, reported after all items settle so
+// retries observe a quiescent runner. A worker panic fails only its own
+// item; every other item still completes.
+func (r *Runner) RunAll(ctx context.Context, items []RunItem) ([]sim.Result, error) {
 	results := make([]sim.Result, len(items))
 	errs := make([]error, len(items))
 	var wg sync.WaitGroup
@@ -268,21 +418,21 @@ func (r *Runner) RunAll(items []RunItem) ([]sim.Result, error) {
 		wg.Add(1)
 		go func(i int, it RunItem) {
 			defer wg.Done()
-			results[i], errs[i] = r.Run(it.Spec, it.Program, it.Class, it.Cores)
+			results[i], errs[i] = r.Run(ctx, it.Spec, it.Program, it.Class, it.Cores)
 		}(i, it)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return results, err
 		}
 	}
 	return results, nil
 }
 
 // Measure converts a run into a model measurement.
-func (r *Runner) Measure(spec machine.Spec, program string, class workload.Class, cores int) (core.Measurement, error) {
-	res, err := r.Run(spec, program, class, cores)
+func (r *Runner) Measure(ctx context.Context, spec machine.Spec, program string, class workload.Class, cores int) (core.Measurement, error) {
+	res, err := r.Run(ctx, spec, program, class, cores)
 	if err != nil {
 		return core.Measurement{}, err
 	}
@@ -300,16 +450,17 @@ func measurementOf(cores int, res sim.Result) core.Measurement {
 // Sweep measures program.class at each core count. The runs execute
 // concurrently (bounded by Jobs); the measurements come back in coreCounts
 // order and are identical to a serial sweep's.
-func (r *Runner) Sweep(spec machine.Spec, program string, class workload.Class, coreCounts []int) ([]core.Measurement, error) {
-	return r.SweepAsync(spec, program, class, coreCounts)()
+func (r *Runner) Sweep(ctx context.Context, spec machine.Spec, program string, class workload.Class, coreCounts []int) ([]core.Measurement, error) {
+	return r.SweepAsync(ctx, spec, program, class, coreCounts)()
 }
 
 // SweepAsync starts measuring program.class at each core count without
 // blocking and returns a wait function. The wait function blocks until
 // every run settles and returns the measurements in coreCounts order; it
 // may be called any number of times. Overlapping async sweeps share runs
-// through the cache and singleflight layers.
-func (r *Runner) SweepAsync(spec machine.Spec, program string, class workload.Class, coreCounts []int) func() ([]core.Measurement, error) {
+// through the cache and singleflight layers. Cancelling ctx aborts the
+// sweep's unfinished runs; completed runs stay cached (and journaled).
+func (r *Runner) SweepAsync(ctx context.Context, spec machine.Spec, program string, class workload.Class, coreCounts []int) func() ([]core.Measurement, error) {
 	items := make([]RunItem, len(coreCounts))
 	for i, n := range coreCounts {
 		items[i] = RunItem{Spec: spec, Program: program, Class: class, Cores: n}
@@ -320,7 +471,7 @@ func (r *Runner) SweepAsync(spec machine.Spec, program string, class workload.Cl
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		results, err := r.RunAll(items)
+		results, err := r.RunAll(ctx, items)
 		if err != nil {
 			ch <- outcome{err: err}
 			return
@@ -401,10 +552,10 @@ func ModelKindFor(spec machine.Spec) core.Kind {
 
 // FitFromPlan fits the analytical model using the paper's measurement plan
 // for the machine.
-func (r *Runner) FitFromPlan(spec machine.Spec, program string, class workload.Class, opts core.Options) (core.Model, []int, error) {
+func (r *Runner) FitFromPlan(ctx context.Context, spec machine.Spec, program string, class workload.Class, opts core.Options) (core.Model, []int, error) {
 	kind := ModelKindFor(spec)
 	plan := core.PaperInputs(kind, spec.Sockets, spec.CoresPerSocket)
-	meas, err := r.Sweep(spec, program, class, plan)
+	meas, err := r.Sweep(ctx, spec, program, class, plan)
 	if err != nil {
 		return core.Model{}, nil, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -18,11 +19,11 @@ import (
 // countingSim installs a fake simulation backend on r that records how
 // many times each key executes and returns a deterministic result derived
 // from the key. It returns the per-key counter map (guarded by mu).
-func countingSim(r *Runner, delay time.Duration) (counts map[runKey]*int64, mu *sync.Mutex) {
-	counts = make(map[runKey]*int64)
+func countingSim(r *Runner, delay time.Duration) (counts map[RunKey]*int64, mu *sync.Mutex) {
+	counts = make(map[RunKey]*int64)
 	mu = &sync.Mutex{}
-	r.simulate = func(spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
-		key := runKey{Machine: spec.Name, Program: program, Class: class, Cores: cores, Scale: r.Tuning.RefScale}
+	r.simulate = func(_ context.Context, spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
+		key := RunKey{Machine: spec.Name, Program: program, Class: class, Cores: cores, Scale: r.Tuning.RefScale}
 		mu.Lock()
 		c, ok := counts[key]
 		if !ok {
@@ -62,7 +63,7 @@ func TestSingleflightDedup(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			if _, err := r.Sweep(spec, "CG", workload.W, []int{1, 2, 4, 1 + g%8}); err != nil {
+			if _, err := r.Sweep(context.Background(), spec, "CG", workload.W, []int{1, 2, 4, 1 + g%8}); err != nil {
 				t.Error(err)
 			}
 		}(g)
@@ -98,7 +99,7 @@ func TestDoubleSimulateRaceRegression(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			res, err := r.Run(spec, "CG", workload.W, 2)
+			res, err := r.Run(context.Background(), spec, "CG", workload.W, 2)
 			if err != nil {
 				t.Error(err)
 			}
@@ -132,7 +133,7 @@ func TestConcurrentMatchesSerial(t *testing.T) {
 
 	serial := NewRunner(quickTune)
 	serial.Jobs = 1
-	wantMeas, err := serial.Sweep(spec, "CG", workload.W, counts)
+	wantMeas, err := serial.Sweep(context.Background(), spec, "CG", workload.W, counts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,13 +141,13 @@ func TestConcurrentMatchesSerial(t *testing.T) {
 	parallel := NewRunner(quickTune)
 	parallel.Jobs = 8
 	// Submit the sweep twice concurrently plus the raw plan, all at once.
-	w1 := parallel.SweepAsync(spec, "CG", workload.W, counts)
-	w2 := parallel.SweepAsync(spec, "CG", workload.W, counts)
+	w1 := parallel.SweepAsync(context.Background(), spec, "CG", workload.W, counts)
+	w2 := parallel.SweepAsync(context.Background(), spec, "CG", workload.W, counts)
 	plan := make([]RunItem, len(counts))
 	for i, n := range counts {
 		plan[i] = RunItem{Spec: spec, Program: "CG", Class: workload.W, Cores: n}
 	}
-	results, err := parallel.RunAll(plan)
+	results, err := parallel.RunAll(context.Background(), plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestConcurrentMatchesSerial(t *testing.T) {
 		t.Errorf("parallel sweep differs from serial:\nserial  %+v\nparallel %+v", wantMeas, got1)
 	}
 	for i, n := range counts {
-		res, err := serial.Run(spec, "CG", workload.W, n)
+		res, err := serial.Run(context.Background(), spec, "CG", workload.W, n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func TestRunAllOrderAndErrors(t *testing.T) {
 		{Spec: spec, Program: "CG", Class: workload.W, Cores: 1},
 		{Spec: spec, Program: "CG", Class: workload.W, Cores: 4}, // duplicate
 	}
-	results, err := r.RunAll(plan)
+	results, err := r.RunAll(context.Background(), plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestRunAllOrderAndErrors(t *testing.T) {
 	}
 
 	plan = append(plan, RunItem{Spec: spec, Program: "bad", Class: workload.W, Cores: 1})
-	if _, err := r.RunAll(plan); err == nil {
+	if _, err := r.RunAll(context.Background(), plan); err == nil {
 		t.Error("RunAll swallowed an item error")
 	}
 }
@@ -218,7 +219,7 @@ func TestProgressConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			if _, err := r.Run(spec, "CG", workload.W, 1+g); err != nil {
+			if _, err := r.Run(context.Background(), spec, "CG", workload.W, 1+g); err != nil {
 				t.Error(err)
 			}
 		}(g)
@@ -253,7 +254,7 @@ func TestRunConfigBounded(t *testing.T) {
 	var active, peak int64
 	var mu sync.Mutex
 	// Wrap via the cached path, which shares the same semaphore.
-	r.simulate = func(machine.Spec, string, workload.Class, int) (sim.Result, error) {
+	r.simulate = func(context.Context, machine.Spec, string, workload.Class, int) (sim.Result, error) {
 		mu.Lock()
 		active++
 		if active > peak {
@@ -272,7 +273,7 @@ func TestRunConfigBounded(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			// Distinct keys so every call truly executes.
-			if _, err := r.Run(spec, "CG", workload.W, 1+g); err != nil {
+			if _, err := r.Run(context.Background(), spec, "CG", workload.W, 1+g); err != nil {
 				t.Error(err)
 			}
 		}(g)
@@ -302,7 +303,7 @@ func BenchmarkRunnerMatrix(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				r := NewRunner(workload.Tuning{RefScale: 0.05})
 				r.Jobs = jobs
-				if _, err := r.RunAll(plan); err != nil {
+				if _, err := r.RunAll(context.Background(), plan); err != nil {
 					b.Fatal(err)
 				}
 			}

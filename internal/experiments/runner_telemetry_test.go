@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"sync"
@@ -33,7 +34,7 @@ func TestRunOutcomeAnnotations(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if _, err := r.Run(spec, "CG", workload.W, 2); err != nil {
+		if _, err := r.Run(context.Background(), spec, "CG", workload.W, 2); err != nil {
 			t.Error(err)
 		}
 	}()
@@ -41,11 +42,11 @@ func TestRunOutcomeAnnotations(t *testing.T) {
 		_, submitted := r.Completed()
 		return submitted == 1
 	})
-	if _, err := r.Run(spec, "CG", workload.W, 2); err != nil {
+	if _, err := r.Run(context.Background(), spec, "CG", workload.W, 2); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
-	if _, err := r.Run(spec, "CG", workload.W, 2); err != nil {
+	if _, err := r.Run(context.Background(), spec, "CG", workload.W, 2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -103,7 +104,7 @@ func TestTelemetryDeterministicAcrossJobs(t *testing.T) {
 				defer wg.Done()
 				cfg := sim.Config{Spec: spec, Cores: 2 * (i + 1),
 					Observe: &sim.ObserveConfig{Interval: 2000}}
-				res, err := r.RunConfig(cfg, "CG", workload.W)
+				res, err := r.RunConfig(context.Background(), cfg, "CG", workload.W)
 				if err != nil {
 					t.Error(err)
 					return

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/trace"
@@ -22,7 +24,7 @@ func TestBarrierSynchronizesUnevenThreads(t *testing.T) {
 	// Thread 0 does 10x the work per iteration; thread 1 must wait at every
 	// barrier and accumulate sync stall ~= the difference.
 	spec := testSpec()
-	res, err := Run(Config{Spec: spec, Threads: 2, Cores: 2}, []trace.Stream{
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 2, Cores: 2}, []trace.Stream{
 		barrierStream(0, 5, 1000),
 		barrierStream(1<<20, 5, 100),
 	})
@@ -58,7 +60,7 @@ func TestBarrierFinishedThreadsDoNotDeadlock(t *testing.T) {
 	// Thread 0 has fewer barriers than thread 1: once it finishes, its
 	// absence must not block thread 1's remaining barriers.
 	spec := testSpec()
-	res, err := Run(Config{Spec: spec, Threads: 2, Cores: 2}, []trace.Stream{
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 2, Cores: 2}, []trace.Stream{
 		barrierStream(0, 2, 100),
 		barrierStream(1<<20, 6, 100),
 	})
@@ -83,7 +85,7 @@ func TestBarrierWithOversubscription(t *testing.T) {
 	for i := range streams {
 		streams[i] = barrierStream(uint64(i)<<22, 8, 200)
 	}
-	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 1, Quantum: 100000}, streams)
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 1, Quantum: 100000}, streams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +115,7 @@ func TestBarrierKeepsThreadsInLockstep(t *testing.T) {
 		}
 		return trace.FromSlice(refs)
 	}
-	_, err := Run(Config{
+	_, err := Run(context.Background(), Config{
 		Spec: spec, Threads: 4, Cores: 4,
 		MissHook: func(now uint64, core int) { missTimes = append(missTimes, now) },
 	}, []trace.Stream{mkStream(0), mkStream(1), mkStream(2), mkStream(3)})
@@ -138,7 +140,7 @@ func TestBarrierKeepsThreadsInLockstep(t *testing.T) {
 
 func TestSyncRefCountsAsInstruction(t *testing.T) {
 	spec := testSpec()
-	res, err := Run(Config{Spec: spec, Threads: 1, Cores: 1}, []trace.Stream{
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 1, Cores: 1}, []trace.Stream{
 		trace.FromSlice([]trace.Ref{{Sync: true, Work: 7}}),
 	})
 	if err != nil {

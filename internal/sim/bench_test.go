@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/trace"
@@ -14,7 +16,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	perThread := refs/4 + 1
 	b.ReportAllocs()
 	b.ResetTimer()
-	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 4},
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 4},
 		memBoundStreams(4, perThread))
 	if err != nil {
 		b.Fatal(err)
@@ -38,7 +40,7 @@ func BenchmarkSimulatorCacheHits(b *testing.B) {
 	b.ResetTimer()
 	iters := (b.N + n - 1) / n
 	for i := 0; i < iters; i++ {
-		if _, err := Run(Config{Spec: spec, Threads: 1, Cores: 1},
+		if _, err := Run(context.Background(), Config{Spec: spec, Threads: 1, Cores: 1},
 			[]trace.Stream{trace.FromSlice(refs)}); err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/trace"
@@ -49,12 +51,12 @@ func TestCoherencePingPongProducesMisses(t *testing.T) {
 	const rounds = 20
 	streams := []trace.Stream{mk(true, rounds), mk(false, rounds), mk(true, rounds), mk(false, rounds)}
 
-	with, err := Run(Config{Spec: spec, Threads: 4, Cores: 4, Coherence: true}, streams)
+	with, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 4, Coherence: true}, streams)
 	if err != nil {
 		t.Fatal(err)
 	}
 	streams = []trace.Stream{mk(true, rounds), mk(false, rounds), mk(true, rounds), mk(false, rounds)}
-	without, err := Run(Config{Spec: spec, Threads: 4, Cores: 4}, streams)
+	without, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 4}, streams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestCoherencePingPongProducesMisses(t *testing.T) {
 func TestCoherenceSameSocketSharingIsFree(t *testing.T) {
 	// Both sharers on socket 0: no cross-socket copies, no invalidations.
 	spec := testSpec()
-	res, err := Run(Config{Spec: spec, Threads: 2, Cores: 2, Coherence: true},
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 2, Cores: 2, Coherence: true},
 		pingPongStreams(10))
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +100,7 @@ func TestCoherenceReadSharingIsFree(t *testing.T) {
 		return trace.FromSlice(refs)
 	}
 	streams := []trace.Stream{mk(), mk(), mk(), mk()}
-	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 4, Coherence: true}, streams)
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 4, Coherence: true}, streams)
 	if err != nil {
 		t.Fatal(err)
 	}

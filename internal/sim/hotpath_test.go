@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -60,13 +61,13 @@ func TestCalendarHeapIdenticalResults(t *testing.T) {
 			for seed := int64(1); seed <= 5; seed++ {
 				cal := spec.mk()
 				cal.EventQueue = eventq.Calendar
-				resCal, err := Run(cal, randomStreams(seed, cal.Threads, 3000))
+				resCal, err := Run(context.Background(), cal, randomStreams(seed, cal.Threads, 3000))
 				if err != nil {
 					t.Fatal(err)
 				}
 				hp := spec.mk()
 				hp.EventQueue = eventq.Heap
-				resHeap, err := Run(hp, randomStreams(seed, hp.Threads, 3000))
+				resHeap, err := Run(context.Background(), hp, randomStreams(seed, hp.Threads, 3000))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -88,7 +89,7 @@ func TestDispatchLoopAllocationBound(t *testing.T) {
 	spec := testSpec()
 	measure := func(refs int) float64 {
 		return testing.AllocsPerRun(3, func() {
-			if _, err := Run(Config{Spec: spec, Threads: 4, Cores: 4},
+			if _, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 4},
 				randomStreams(7, 4, refs)); err != nil {
 				t.Fatal(err)
 			}
@@ -109,7 +110,7 @@ func TestDispatchLoopAllocationBound(t *testing.T) {
 
 // TestEventsCounter checks Result.Events reports the dispatched event count.
 func TestEventsCounter(t *testing.T) {
-	res, err := Run(Config{Spec: testSpec(), Threads: 2, Cores: 2}, memBoundStreams(2, 100))
+	res, err := Run(context.Background(), Config{Spec: testSpec(), Threads: 2, Cores: 2}, memBoundStreams(2, 100))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -18,7 +19,7 @@ func TestDeterminism(t *testing.T) {
 			t.Fatal(err)
 		}
 		spec := testSpec()
-		res, err := Run(Config{Spec: spec, Threads: 4, Cores: 3}, wl.Streams(4))
+		res, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 3}, wl.Streams(4))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,14 +43,14 @@ func TestFillProcessorFirst(t *testing.T) {
 	spec := testSpec() // 2 sockets x 2 cores
 	streams := func() []trace.Stream { return memBoundStreams(4, 50) }
 
-	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 2}, streams())
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 2}, streams())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.MCStats[1].Requests != 0 {
 		t.Errorf("n=2: MC1 served %d requests, want 0", res.MCStats[1].Requests)
 	}
-	res, err = Run(Config{Spec: spec, Threads: 4, Cores: 3}, streams())
+	res, err = Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 3}, streams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestCounterIdentitiesProperty(t *testing.T) {
 			}
 			streams = append(streams, trace.FromSlice(refs))
 		}
-		res, err := Run(Config{Spec: spec, Threads: threads, Cores: cores}, streams)
+		res, err := Run(context.Background(), Config{Spec: spec, Threads: threads, Cores: cores}, streams)
 		if err != nil || res.Aborted {
 			return false
 		}
@@ -139,7 +140,7 @@ func TestRemoteBoundsProperty(t *testing.T) {
 			}
 			streams = append(streams, trace.FromSlice(refs))
 		}
-		res, err := Run(Config{Spec: spec, Threads: threads, Cores: threads, Placement: Interleave}, streams)
+		res, err := Run(context.Background(), Config{Spec: spec, Threads: threads, Cores: threads, Placement: Interleave}, streams)
 		if err != nil {
 			return false
 		}
@@ -160,7 +161,7 @@ func TestRemoteBoundsProperty(t *testing.T) {
 // last finish equals the interesting part of the makespan.
 func TestFinishTimesWithinMakespan(t *testing.T) {
 	spec := testSpec()
-	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 2}, memBoundStreams(4, 100))
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 2}, memBoundStreams(4, 100))
 	if err != nil {
 		t.Fatal(err)
 	}

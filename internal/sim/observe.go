@@ -181,18 +181,31 @@ func (o *observer) start() {
 // (maxCycles 0 means unbounded) but remembers the clock value from just
 // before the terminal sampler tick: that tick fires after the last real
 // event and would otherwise round the makespan up to the next sampling
-// boundary.
-func (o *observer) drive(maxCycles uint64) {
+// boundary. When done is non-nil, cont is consulted every `every`
+// dispatched events — the same bounded-latency cancellation contract as
+// eventq.RunChecked — and drive reports false if it stopped because cont
+// did.
+func (o *observer) drive(maxCycles, every uint64, done <-chan struct{}, cont func() bool) bool {
 	q := o.e.q
+	var n uint64
 	for maxCycles == 0 || q.Now() < maxCycles {
 		before := q.Now()
 		if !q.Step() {
-			return
+			return true
 		}
 		if o.terminal && !o.endSet {
 			o.realEnd, o.endSet = before, true
 		}
+		if done != nil {
+			if n++; n >= every {
+				n = 0
+				if !cont() {
+					return false
+				}
+			}
+		}
 	}
+	return true
 }
 
 // sample records one point on every series and re-arms the sampler while

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"reflect"
 	"strings"
@@ -18,7 +19,7 @@ func TestTelemetrySampling(t *testing.T) {
 		Spec: testSpec(), Threads: 4, Cores: 4,
 		Observe: &ObserveConfig{Interval: 500},
 	}
-	res, err := Run(cfg, memBoundStreams(4, 500))
+	res, err := Run(context.Background(), cfg, memBoundStreams(4, 500))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestTelemetrySampling(t *testing.T) {
 // attached).
 func TestTelemetryDoesNotPerturb(t *testing.T) {
 	mk := func(obs *ObserveConfig) Result {
-		res, err := Run(Config{Spec: testSpec(), Threads: 4, Cores: 4, Observe: obs},
+		res, err := Run(context.Background(), Config{Spec: testSpec(), Threads: 4, Cores: 4, Observe: obs},
 			randomStreams(3, 4, 3000))
 		if err != nil {
 			t.Fatal(err)
@@ -104,7 +105,7 @@ func TestTelemetryDoesNotPerturb(t *testing.T) {
 // TestTelemetryUMABusSeries checks bus utilization series appear on UMA
 // machines.
 func TestTelemetryUMABusSeries(t *testing.T) {
-	res, err := Run(Config{Spec: umaSpec(), Threads: 4, Cores: 4,
+	res, err := Run(context.Background(), Config{Spec: umaSpec(), Threads: 4, Cores: 4,
 		Observe: &ObserveConfig{Interval: 500}}, memBoundStreams(4, 300))
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +124,7 @@ func TestTelemetryUMABusSeries(t *testing.T) {
 func TestTelemetryTraceEvents(t *testing.T) {
 	emit := func() string {
 		var buf bytes.Buffer
-		_, err := Run(Config{Spec: testSpec(), Threads: 2, Cores: 2,
+		_, err := Run(context.Background(), Config{Spec: testSpec(), Threads: 2, Cores: 2,
 			Observe: &ObserveConfig{Interval: 1000, Tracer: telemetry.NewTracer(&buf)}},
 			memBoundStreams(2, 200))
 		if err != nil {
@@ -155,7 +156,7 @@ func TestTelemetryTraceEvents(t *testing.T) {
 // run.
 func TestTelemetryRegistry(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	res, err := Run(Config{Spec: testSpec(), Threads: 2, Cores: 2,
+	res, err := Run(context.Background(), Config{Spec: testSpec(), Threads: 2, Cores: 2,
 		Observe: &ObserveConfig{Interval: 500, Registry: reg}},
 		memBoundStreams(2, 200))
 	if err != nil {
@@ -180,7 +181,7 @@ func TestTelemetryAllocBound(t *testing.T) {
 	measure := func(refs int) (allocs, samples float64) {
 		var n int
 		allocs = testing.AllocsPerRun(3, func() {
-			res, err := Run(Config{Spec: spec, Threads: 4, Cores: 4,
+			res, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 4,
 				Observe: &ObserveConfig{Interval: 200}},
 				randomStreams(7, 4, refs))
 			if err != nil {

@@ -26,6 +26,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -100,6 +101,13 @@ type Config struct {
 	// dispatch events in the identical deterministic order, so results do
 	// not depend on this choice.
 	EventQueue eventq.Kind
+	// CancelEvery is the cancellation-check period: Run polls ctx.Done()
+	// every CancelEvery dispatched events, so a cancellation is honored
+	// within that many events. 0 defaults to DefaultCancelEvery. The check
+	// is a prebuilt non-blocking channel receive, so the event loop stays
+	// allocation-free (pinned by TestZeroAllocSteadyState in
+	// internal/eventq).
+	CancelEvery uint64
 	// Observe, when non-nil, attaches the in-run telemetry layer: a
 	// simulated-time sampler (utilization, queue occupancy, in-flight
 	// requests, per-core stall fraction as time series on
@@ -193,32 +201,58 @@ type Result struct {
 	Aborted bool
 }
 
-// ErrBadConfig is returned for inconsistent run configurations.
-var ErrBadConfig = errors.New("sim: bad configuration")
+// DefaultCancelEvery is the default cancellation-check period in events:
+// the cadence at which Run polls ctx.Done() when CancelEvery is zero.
+const DefaultCancelEvery = 4096
+
+// ErrCanceled is the sentinel a canceled run matches via errors.Is. The
+// concrete error is always a *CanceledError carrying the partial counters
+// accumulated up to the cancellation point.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// CanceledError reports that a run was stopped by its context before
+// completion. It matches ErrCanceled under errors.Is and unwraps to the
+// context's error (context.Canceled or context.DeadlineExceeded).
+type CanceledError struct {
+	// Partial holds the counters accumulated up to the cancellation point,
+	// assembled exactly like an aborted run's (open blocked intervals are
+	// charged through the cancel time, Aborted is set). DroppedEvents
+	// pending events were discarded without running.
+	Partial Result
+	// DroppedEvents is the number of pending events drained from the queue
+	// at cancellation.
+	DroppedEvents int
+	cause         error
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: run canceled after %d events (%v)", e.Partial.Events, e.cause)
+}
+
+// Is reports a match against the ErrCanceled sentinel.
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
+
+// Unwrap returns the context's error, so errors.Is(err, context.Canceled)
+// also holds.
+func (e *CanceledError) Unwrap() error { return e.cause }
 
 // Run executes streams (one per thread) on the configured machine and
 // returns the measured counters.
-func Run(cfg Config, streams []trace.Stream) (Result, error) {
-	if cfg.Threads == 0 {
-		cfg.Threads = cfg.Spec.TotalCores()
-	}
-	if cfg.Cores == 0 {
-		cfg.Cores = cfg.Spec.TotalCores()
-	}
-	if cfg.Quantum == 0 {
-		cfg.Quantum = 50000
-	}
-	if cfg.BatchLimit == 0 {
-		cfg.BatchLimit = 2000
-	}
-	if cfg.PageBytes == 0 {
-		cfg.PageBytes = 4096
-	}
-	if cfg.Cores < 1 || cfg.Cores > cfg.Spec.TotalCores() {
-		return Result{}, fmt.Errorf("%w: cores %d out of range 1..%d", ErrBadConfig, cfg.Cores, cfg.Spec.TotalCores())
-	}
-	if len(streams) != cfg.Threads {
-		return Result{}, fmt.Errorf("%w: %d streams for %d threads", ErrBadConfig, len(streams), cfg.Threads)
+//
+// Run honors ctx: the event loop polls ctx.Done() every
+// Config.CancelEvery dispatched events (a prebuilt non-blocking receive,
+// so the hot path stays allocation-free), and on cancellation drains the
+// queue — releasing pooled callbacks — and returns a *CanceledError
+// carrying the partial counters. Use context.Background() for an
+// uncancellable run; its nil Done channel skips the checks entirely.
+//
+// Configuration errors are reported as a *ConfigError (matching
+// ErrBadConfig) naming every invalid field at once.
+func Run(ctx context.Context, cfg Config, streams []trace.Stream) (Result, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(len(streams)); err != nil {
+		return Result{}, err
 	}
 
 	q := eventq.New(cfg.EventQueue)
@@ -247,15 +281,59 @@ func Run(cfg Config, streams []trace.Stream) (Result, error) {
 		obs.start()
 	}
 
+	// The cancellation probe is built once, outside the event loop. A
+	// context that can never be canceled (context.Background) has a nil
+	// Done channel, in which case the unchecked loops run instead and the
+	// per-event cost of cancellation support is exactly zero.
+	done := ctx.Done()
+	canceled := false
+	check := func() bool {
+		select {
+		case <-done:
+			canceled = true
+			return false
+		default:
+			return true
+		}
+	}
+
 	switch {
 	case obs != nil:
-		obs.drive(cfg.MaxCycles)
+		canceled = !obs.drive(cfg.MaxCycles, cfg.CancelEvery, done, check)
 	case cfg.MaxCycles > 0:
-		q.RunWhile(func() bool { return q.Now() < cfg.MaxCycles })
+		var n uint64
+		q.RunWhile(func() bool {
+			if q.Now() >= cfg.MaxCycles {
+				return false
+			}
+			if done != nil {
+				if n++; n >= cfg.CancelEvery {
+					n = 0
+					return check()
+				}
+			}
+			return true
+		})
+	case done != nil:
+		q.RunChecked(cfg.CancelEvery, check)
 	default:
 		q.Run()
 	}
 	defer trace.StopAll(streams...)
+
+	if canceled {
+		dropped := q.Drain()
+		partial := e.result()
+		if obs != nil {
+			partial.Telemetry = obs.rt
+			cfg.Observe.Tracer.Emit("run.cancel",
+				"machine", cfg.Spec.Name, "cores", cfg.Cores,
+				"cycles", partial.Makespan, "events", partial.Events,
+				"dropped", dropped)
+		}
+		return Result{}, &CanceledError{Partial: partial, DroppedEvents: dropped, cause: ctx.Err()}
+	}
+
 	res := e.result()
 	if obs != nil {
 		if obs.endSet {

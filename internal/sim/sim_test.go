@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/cache"
@@ -48,22 +50,22 @@ func singleStream(refs []trace.Ref) []trace.Stream {
 
 func TestRunConfigValidation(t *testing.T) {
 	spec := testSpec()
-	if _, err := Run(Config{Spec: spec, Threads: 1, Cores: 99}, singleStream(nil)); err == nil {
+	if _, err := Run(context.Background(), Config{Spec: spec, Threads: 1, Cores: 99}, singleStream(nil)); err == nil {
 		t.Error("out-of-range cores accepted")
 	}
-	if _, err := Run(Config{Spec: spec, Threads: 2, Cores: 1}, singleStream(nil)); err == nil {
+	if _, err := Run(context.Background(), Config{Spec: spec, Threads: 2, Cores: 1}, singleStream(nil)); err == nil {
 		t.Error("stream/thread mismatch accepted")
 	}
 	bad := spec
 	bad.MSHRs = 0
-	if _, err := Run(Config{Spec: bad, Threads: 1, Cores: 1}, singleStream(nil)); err == nil {
+	if _, err := Run(context.Background(), Config{Spec: bad, Threads: 1, Cores: 1}, singleStream(nil)); err == nil {
 		t.Error("invalid machine accepted")
 	}
 }
 
 func TestEmptyStreamsFinish(t *testing.T) {
 	spec := testSpec()
-	res, err := Run(Config{Spec: spec}, []trace.Stream{
+	res, err := Run(context.Background(), Config{Spec: spec}, []trace.Stream{
 		trace.FromSlice(nil), trace.FromSlice(nil), trace.FromSlice(nil), trace.FromSlice(nil),
 	})
 	if err != nil {
@@ -84,7 +86,7 @@ func TestPureWorkAccounting(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		refs = append(refs, trace.Ref{Addr: 4096, Kind: trace.Load, Work: 10})
 	}
-	res, err := Run(Config{Spec: testSpec(), Threads: 1, Cores: 1}, singleStream(refs))
+	res, err := Run(context.Background(), Config{Spec: testSpec(), Threads: 1, Cores: 1}, singleStream(refs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +112,7 @@ func TestPureWorkAccounting(t *testing.T) {
 func TestDependentMissStalls(t *testing.T) {
 	// A dependent cold miss must stall for at least the MC service time.
 	refs := []trace.Ref{{Addr: 1 << 20, Kind: trace.Load, Dep: true, Work: 1}}
-	res, err := Run(Config{Spec: testSpec(), Threads: 1, Cores: 1}, singleStream(refs))
+	res, err := Run(context.Background(), Config{Spec: testSpec(), Threads: 1, Cores: 1}, singleStream(refs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,11 +140,11 @@ func TestMLPBeatsDependentChain(t *testing.T) {
 	// not bandwidth-bound.
 	spec := testSpec()
 	spec.MC.Channels = 4
-	dep, err := Run(Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(mkRefs(true)))
+	dep, err := Run(context.Background(), Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(mkRefs(true)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	indep, err := Run(Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(mkRefs(false)))
+	indep, err := Run(context.Background(), Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(mkRefs(false)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +159,7 @@ func TestMLPBeatsDependentChain(t *testing.T) {
 
 func TestEveryRefMissesWhenFootprintHuge(t *testing.T) {
 	refs := trace.Collect(trace.StrideSpec{Base: 0, Stride: 4096, Count: 500, Kind: trace.Load, Work: 2}.Stream(), 0)
-	res, err := Run(Config{Spec: testSpec(), Threads: 1, Cores: 1}, singleStream(refs))
+	res, err := Run(context.Background(), Config{Spec: testSpec(), Threads: 1, Cores: 1}, singleStream(refs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +189,7 @@ func TestContentionGrowsTotalCycles(t *testing.T) {
 	// makes total (summed) cycles grow — the paper's core observation.
 	spec := testSpec()
 	run := func(cores int) Result {
-		res, err := Run(Config{Spec: spec, Threads: 2, Cores: cores}, memBoundStreams(2, 400))
+		res, err := Run(context.Background(), Config{Spec: spec, Threads: 2, Cores: cores}, memBoundStreams(2, 400))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +218,7 @@ func TestFirstTouchKeepsAccessesLocal(t *testing.T) {
 	// Threads pinned on socket 0 only; first-touch places pages on MC 0:
 	// zero remote requests.
 	spec := testSpec()
-	res, err := Run(Config{Spec: spec, Threads: 2, Cores: 2}, memBoundStreams(2, 100))
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 2, Cores: 2}, memBoundStreams(2, 100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +232,7 @@ func TestFirstTouchKeepsAccessesLocal(t *testing.T) {
 
 func TestInterleaveUsesAllActiveMCs(t *testing.T) {
 	spec := testSpec()
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Spec: spec, Threads: 4, Cores: 4, Placement: Interleave,
 	}, memBoundStreams(4, 100))
 	if err != nil {
@@ -249,7 +251,7 @@ func TestSecondSocketAddsRemoteTraffic(t *testing.T) {
 	// home their pages on MC 1 and everything stays local; verify instead
 	// that socket-1 MC actually serves requests (fill-first activation).
 	spec := testSpec()
-	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 4}, memBoundStreams(4, 100))
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 4}, memBoundStreams(4, 100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +264,7 @@ func TestOversubscriptionCompletes(t *testing.T) {
 	// 4 threads on 1 core: round-robin multiplexing must finish all threads
 	// and count each thread's misses.
 	spec := testSpec()
-	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 1, Quantum: 500}, memBoundStreams(4, 50))
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 1, Quantum: 500}, memBoundStreams(4, 50))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +283,7 @@ func TestOversubscriptionCompletes(t *testing.T) {
 
 func TestUMABusPath(t *testing.T) {
 	spec := umaSpec()
-	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 4}, memBoundStreams(4, 100))
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 4}, memBoundStreams(4, 100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +303,7 @@ func TestUMABusPath(t *testing.T) {
 
 func TestMaxCyclesAborts(t *testing.T) {
 	spec := testSpec()
-	res, err := Run(Config{Spec: spec, Threads: 1, Cores: 1, MaxCycles: 100},
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 1, Cores: 1, MaxCycles: 100},
 		singleStream(trace.Collect(trace.StrideSpec{Stride: 4096, Count: 100000, Dep: true, Work: 1}.Stream(), 0)))
 	if err != nil {
 		t.Fatal(err)
@@ -315,7 +317,7 @@ func TestMissHookMonotone(t *testing.T) {
 	var times []uint64
 	var cores []int
 	spec := testSpec()
-	_, err := Run(Config{
+	_, err := Run(context.Background(), Config{
 		Spec: spec, Threads: 2, Cores: 2,
 		MissHook: func(now uint64, core int) {
 			times = append(times, now)
@@ -348,13 +350,13 @@ func TestMSHRLimitBlocks(t *testing.T) {
 	spec := testSpec()
 	spec.MSHRs = 1
 	refs := trace.Collect(trace.StrideSpec{Stride: 4096, Count: 100, Kind: trace.Load, Work: 1}.Stream(), 0)
-	res1, err := Run(Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(refs))
+	res1, err := Run(context.Background(), Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(refs))
 	if err != nil {
 		t.Fatal(err)
 	}
 	spec.MSHRs = 8
 	refs = trace.Collect(trace.StrideSpec{Stride: 4096, Count: 100, Kind: trace.Load, Work: 1}.Stream(), 0)
-	res8, err := Run(Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(refs))
+	res8, err := Run(context.Background(), Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(refs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +372,7 @@ func TestMSHRLimitBlocks(t *testing.T) {
 func TestDefaultsApplied(t *testing.T) {
 	spec := testSpec()
 	streams := memBoundStreams(spec.TotalCores(), 10)
-	res, err := Run(Config{Spec: spec}, streams)
+	res, err := Run(context.Background(), Config{Spec: spec}, streams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +407,7 @@ func TestSMTSiblingSharingSlowsWork(t *testing.T) {
 	}
 
 	// Threads 0 and 2 -> cores 0 and 2 = SMT siblings.
-	res, err := Run(Config{Spec: spec, Threads: 4, Cores: 4}, []trace.Stream{
+	res, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 4}, []trace.Stream{
 		workRefs(0), trace.FromSlice(nil), workRefs(1 << 20), trace.FromSlice(nil),
 	})
 	if err != nil {
@@ -418,7 +420,7 @@ func TestSMTSiblingSharingSlowsWork(t *testing.T) {
 	}
 
 	// Same run with the threads on non-sibling cores 0 and 1: no slowdown.
-	res2, err := Run(Config{Spec: spec, Threads: 4, Cores: 4}, []trace.Stream{
+	res2, err := Run(context.Background(), Config{Spec: spec, Threads: 4, Cores: 4}, []trace.Stream{
 		workRefs(0), workRefs(1 << 20), trace.FromSlice(nil), trace.FromSlice(nil),
 	})
 	if err != nil {
@@ -452,13 +454,13 @@ func TestSMTSiblingPairing(t *testing.T) {
 func TestSMTValidation(t *testing.T) {
 	spec := testSpec()
 	spec.SMT = 3
-	if _, err := Run(Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(nil)); err == nil {
+	if _, err := Run(context.Background(), Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(nil)); err == nil {
 		t.Error("SMT=3 accepted")
 	}
 	spec = testSpec()
 	spec.SMT = 2
 	spec.CoresPerSocket = 3
-	if _, err := Run(Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(nil)); err == nil {
+	if _, err := Run(context.Background(), Config{Spec: spec, Threads: 1, Cores: 1}, singleStream(nil)); err == nil {
 		t.Error("odd logical core count with SMT accepted")
 	}
 }

@@ -9,6 +9,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -36,7 +37,7 @@ func TestGoldenTelemetryArtifacts(t *testing.T) {
 			Registry: reg,
 		},
 	}
-	res, err := r.RunConfig(cfg, "CG", workload.W)
+	res, err := r.RunConfig(context.Background(), cfg, "CG", workload.W)
 	if err != nil {
 		t.Fatal(err)
 	}
