@@ -3,16 +3,40 @@
 
 GO ?= go
 
-.PHONY: check build vet test short race bench microbench artifacts-fast clean
+# External linter pins: CI runs these via `go run pkg@version` so a
+# failure reproduces locally with the exact same tool version.
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
-## check: the tier-1 gate — vet, build, race-enabled tests.
-check: vet build race
+.PHONY: check build vet lint lint-extra test short race bench microbench artifacts-fast clean
+
+## check: the tier-1 gate — vet, lint (simcheck), build, race-enabled tests.
+check: vet lint build race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## lint: the simcheck suite (internal/analysis) over the whole tree.
+## detlint/hotpath/ctxfirst/tracelint/errlint enforce the determinism,
+## alloc-discipline, context-first, telemetry-naming and error-hygiene
+## invariants at vet time; docs/ARCHITECTURE.md §8 documents each one.
+SIMCHECK := bin/simcheck
+SIMCHECK_SRC := $(shell find internal/analysis cmd/simcheck -name '*.go' -not -name '*_test.go' 2>/dev/null) go.mod
+
+$(SIMCHECK): $(SIMCHECK_SRC)
+	$(GO) build -o $(SIMCHECK) ./cmd/simcheck
+
+lint: $(SIMCHECK)
+	$(GO) vet -vettool=$(CURDIR)/$(SIMCHECK) ./...
+
+## lint-extra: third-party linters, version-pinned above. Needs network
+## access to fetch the tools (CI runs this; offline dev boxes can skip).
+lint-extra:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 ## test: plain test run (no race detector), faster on small machines.
 test:

@@ -89,7 +89,7 @@ func main() {
 		defer stop()
 		fmt.Fprintf(os.Stderr, "bench: debug server listening on %s\n", addr)
 	}
-	ctx, stopSignals := cli.SignalContext()
+	ctx, stopSignals := cli.SignalContext(context.Background())
 	defer stopSignals()
 
 	rep := Report{

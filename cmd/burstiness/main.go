@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -60,7 +62,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ctx, stopSignals := cli.SignalContext()
+	ctx, stopSignals := cli.SignalContext(context.Background())
 	defer stopSignals()
 	res, err := sim.Run(ctx, cfg, wl.Streams(threads))
 	if err != nil {
@@ -73,7 +75,7 @@ func main() {
 	fmt.Printf("# %d off-chip requests over %d windows\n", s.Total(), len(s.Windows()))
 
 	a, err := burst.Analyze(s.Windows())
-	if err == burst.ErrNoTraffic {
+	if errors.Is(err, burst.ErrNoTraffic) {
 		fmt.Println("no off-chip traffic: working set fully cached")
 		return
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,7 +42,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ctx, stopSignals := cli.SignalContext()
+	ctx, stopSignals := cli.SignalContext(context.Background())
 	defer stopSignals()
 	r, cleanup, err := common.NewRunner()
 	if err != nil {

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -57,7 +58,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	ctx, stopSignals := cli.SignalContext()
+	ctx, stopSignals := cli.SignalContext(context.Background())
 	defer stopSignals()
 
 	r, cleanup, err := common.NewRunner()

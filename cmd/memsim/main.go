@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -104,7 +105,7 @@ func main() {
 		fatal(err)
 	}
 
-	ctx, stopSignals := cli.SignalContext()
+	ctx, stopSignals := cli.SignalContext(context.Background())
 	defer stopSignals()
 	res, err := sim.Run(ctx, cfg, wl.Streams(nThreads))
 	if err != nil {

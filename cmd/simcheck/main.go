@@ -1,0 +1,71 @@
+// Command simcheck runs the repository's go/analysis lint suite
+// (internal/analysis: detlint, hotpath, ctxfirst, tracelint, errlint).
+//
+// It speaks the go vet unitchecker protocol, so the canonical invocation
+// is:
+//
+//	go build -o bin/simcheck ./cmd/simcheck
+//	go vet -vettool=$(pwd)/bin/simcheck ./...
+//
+// Invoked standalone with package patterns it re-execs itself through
+// `go vet -vettool`, so `simcheck ./...` works too (and is what `make
+// lint` uses). docs/ARCHITECTURE.md §8 documents each analyzer and the
+// runtime test it backstops.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	simcheck "repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vetProtocol(args) {
+		unitchecker.Main(simcheck.Analyzers()...) // never returns
+	}
+	os.Exit(standalone(args))
+}
+
+// vetProtocol reports whether the process was invoked by the go vet
+// driver: version/flag interrogation or a unit-check config file.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// standalone re-execs through `go vet -vettool=<self>` so the suite can
+// be run directly on package patterns.
+func standalone(args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simcheck: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "simcheck: %v\n", err)
+		return 2
+	}
+	return 0
+}

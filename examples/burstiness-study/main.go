@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -59,7 +60,7 @@ func main() {
 		s.PadTo(res.Makespan)
 
 		a, err := burst.Analyze(s.Windows())
-		if err == burst.ErrNoTraffic {
+		if errors.Is(err, burst.ErrNoTraffic) {
 			fmt.Fprintf(tw, "CG.%s\t%.1f MB\t0\t0%%\t-\t-\tfully cached\n",
 				class, float64(wl.FootprintBytes())/(1<<20))
 			continue

@@ -1,0 +1,252 @@
+// Package analyzertest is a self-contained stand-in for
+// golang.org/x/tools/go/analysis/analysistest, which is not part of the
+// toolchain-vendored subset of x/tools this repository builds against.
+//
+// It loads fixture packages from a testdata/src tree, type-checks them
+// with the source importer (std library) plus a testdata-local importer
+// (fixture-to-fixture imports), runs one analyzer, and compares the
+// diagnostics against `// want "regexp"` comments using the same
+// line-anchored convention as analysistest:
+//
+//	rand.Intn(4) // want `process-global random source`
+//
+// Each diagnostic must match an unconsumed want on its line, and each
+// want must be consumed by exactly one diagnostic.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each fixture package below dir/src and applies the analyzer,
+// reporting mismatches against the // want comments through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	if len(a.Requires) != 0 {
+		t.Fatalf("analyzer %s has Requires; analyzertest only supports self-contained analyzers", a.Name)
+	}
+	l := newLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgPaths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags := runAnalyzer(t, a, l.fset, p)
+		checkDiagnostics(t, l.fset, p, diags)
+	}
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	root  string
+	fset  *token.FileSet
+	cache map[string]*loadedPkg
+	std   types.Importer
+}
+
+func newLoader(root string) *loader {
+	l := &loader{root: root, fset: token.NewFileSet(), cache: make(map[string]*loadedPkg)}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+// Import implements types.Importer: testdata-local fixture packages win,
+// everything else falls through to the std source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(l.root, path)); err == nil && fi.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.cache[path] = p
+	return p, nil
+}
+
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, p *loadedPkg) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      p.files,
+		Pkg:        p.pkg,
+		TypesInfo:  p.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*analysis.Analyzer]interface{}{},
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:   os.ReadFile,
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("%s on %s: %v", a.Name, p.pkg.Path(), err)
+	}
+	return diags
+}
+
+// want is one expected-diagnostic marker.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				for _, pat := range splitPatterns(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns extracts the sequence of quoted ("..." or `...`) patterns
+// after a want marker.
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				t.Errorf("%s: unterminated want pattern: %s", pos, s)
+				return pats
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Errorf("%s: bad want pattern %s: %v", pos, s[:end+1], err)
+				return pats
+			}
+			pats = append(pats, unq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Errorf("%s: unterminated want pattern: %s", pos, s)
+				return pats
+			}
+			pats = append(pats, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Errorf("%s: want patterns must be quoted: %s", pos, s)
+			return pats
+		}
+	}
+	return pats
+}
+
+func checkDiagnostics(t *testing.T, fset *token.FileSet, p *loadedPkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, p.files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package ctxfirst implements the context-discipline analyzer of the
+// simcheck suite.
+//
+// PR 4 made the whole pipeline context-first: cancellation flows from the
+// command line through experiments.Runner into the event loop, and
+// kill-and-resume correctness depends on no library layer manufacturing
+// its own root context. ctxfirst pins that shape:
+//
+//   - a function that takes a context.Context must take it as its FIRST
+//     parameter (after the receiver)
+//   - context.Background() / context.TODO() are forbidden outside cmd/*,
+//     examples and _test.go files: a library that needs a context must be
+//     handed one by its caller
+//   - an exported function in the API packages (internal/experiments,
+//     internal/sim, internal/cli) that does work — calls something taking
+//     a context — must itself take a context and forward it
+//   - storing a context.Context in a struct field hides the caller's
+//     cancellation scope and is flagged
+//
+// Pure data shaping (renderers, option constructors, accessors) takes no
+// context and is untouched by these rules.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/simdir"
+)
+
+// Name is the analyzer name used in diagnostics and allow directives.
+const Name = "ctxfirst"
+
+// DefaultAPIPackages are the packages whose exported surface must be
+// context-first; Background/TODO and ctx-position checks apply to every
+// non-main library package.
+const DefaultAPIPackages = `(^|/)internal/(experiments|sim|cli)($|/)`
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "require context.Context as the first parameter of working APIs; forbid context.Background outside main packages",
+	Run:  run,
+}
+
+var apiPattern string
+
+func init() {
+	Analyzer.Flags.StringVar(&apiPattern, "api", DefaultAPIPackages,
+		"regexp of package import paths whose exported functions must be context-first")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	re, err := regexp.Compile(apiPattern)
+	if err != nil {
+		return nil, err
+	}
+	path := pass.Pkg.Path()
+	isAPI := re.MatchString(path)
+	isMainish := pass.Pkg.Name() == "main" ||
+		strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/") ||
+		strings.Contains(path, "/examples/") || strings.HasPrefix(path, "examples/")
+
+	dir := simdir.Parse(pass)
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, dir, n)
+				if isAPI && n.Name.IsExported() {
+					checkDoesWork(pass, dir, n)
+				}
+			case *ast.CallExpr:
+				if !isMainish {
+					checkBackground(pass, dir, n)
+				}
+			case *ast.StructType:
+				if isAPI {
+					checkStructFields(pass, dir, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkSignature flags a context parameter in any position but the first.
+func checkSignature(pass *analysis.Pass, dir *simdir.Directives, fn *ast.FuncDecl) {
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	params := obj.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) && i != 0 {
+			dir.Report(pass, Name, fn.Name.Pos(),
+				"%s takes context.Context as parameter %d; the context must be the first parameter", fn.Name.Name, i+1)
+		}
+	}
+}
+
+// checkBackground flags context.Background()/TODO() in library code.
+func checkBackground(pass *analysis.Pass, dir *simdir.Directives, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		dir.Report(pass, Name, call.Pos(),
+			"context.%s() in library code breaks the cancellation chain; accept a context.Context from the caller instead (only cmd/*, examples and tests may create root contexts)", obj.Name())
+	}
+}
+
+// checkDoesWork flags an exported API function that forwards into
+// context-taking callees without accepting a context itself.
+func checkDoesWork(pass *analysis.Pass, dir *simdir.Directives, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if p := sig.Params(); p.Len() > 0 && isContextType(p.At(0).Type()) {
+		return // already context-first
+	}
+	var culprit *types.Func
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if culprit != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		csig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+		if !ok || csig.Params().Len() == 0 || !isContextType(csig.Params().At(0).Type()) {
+			return true
+		}
+		if f, ok := calleeFunc(pass, call); ok {
+			culprit = f
+		}
+		return true
+	})
+	if culprit != nil {
+		dir.Report(pass, Name, fn.Name.Pos(),
+			"exported %s does work (calls %s, which takes a context.Context) but does not take context.Context as its first parameter", fn.Name.Name, culprit.Name())
+	}
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, ok := pass.TypesInfo.Uses[fun].(*types.Func)
+		return f, ok
+	case *ast.SelectorExpr:
+		f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f, ok
+	}
+	return nil, false
+}
+
+// checkStructFields flags stored contexts.
+func checkStructFields(pass *analysis.Pass, dir *simdir.Directives, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t != nil && isContextType(t) {
+			dir.Report(pass, Name, field.Pos(),
+				"struct field of type context.Context hides the caller's cancellation scope; pass the context per call instead")
+		}
+	}
+}

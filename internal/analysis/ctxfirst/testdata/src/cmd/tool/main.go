@@ -1,0 +1,9 @@
+// Command tool is a ctxfirst fixture: main packages may create root
+// contexts.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

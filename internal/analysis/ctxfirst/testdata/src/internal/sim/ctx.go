@@ -1,0 +1,33 @@
+// Package sim is a ctxfirst fixture standing in for an API package.
+package sim
+
+import "context"
+
+func Run(ctx context.Context, n int) int { return n }
+
+func BadOrder(n int, ctx context.Context) {} // want `takes context.Context as parameter 2`
+
+func Library() {
+	_ = context.Background() // want `context\.Background\(\) in library code`
+}
+
+func DoesWork(n int) int { // want `exported DoesWork does work \(calls Run, which takes a context.Context\)`
+	return Run(context.TODO(), n) // want `context\.TODO\(\) in library code`
+}
+
+func GoodWork(ctx context.Context, n int) int {
+	return Run(ctx, n)
+}
+
+// NewRenderer shapes data without touching context-taking callees: fine.
+func NewRenderer(n int) int { return n * 2 }
+
+type holder struct {
+	ctx context.Context // want `struct field of type context.Context`
+	n   int
+}
+
+func AllowedRoot() {
+	//simcheck:allow(ctxfirst) designated root-context factory for signal wiring; callers own the scope
+	_ = context.Background()
+}

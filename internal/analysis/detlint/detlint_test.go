@@ -1,0 +1,12 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/detlint"
+)
+
+func TestDetlint(t *testing.T) {
+	analyzertest.Run(t, "testdata", detlint.Analyzer, "internal/sim", "other")
+}

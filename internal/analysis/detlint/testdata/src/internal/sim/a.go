@@ -1,0 +1,100 @@
+// Package sim is a detlint fixture standing in for the deterministic core.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func WallClock() int64 {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	return t.Unix()
+}
+
+func Elapsed(t time.Time) int64 {
+	return int64(time.Since(t)) // want `time\.Since reads the wall clock`
+}
+
+func GlobalRand() int {
+	return rand.Intn(4) // want `process-global random source`
+}
+
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // explicitly seeded: fine
+	return rng.Intn(4)
+}
+
+func send(ch chan int) { ch <- 1 }
+
+func Spawn(ch chan int) {
+	go send(ch) // want `goroutine launch in the deterministic core`
+}
+
+func SpawnAllowed(ch chan int) {
+	//simcheck:allow(detlint) bounded generator goroutine with synchronized hand-off; order does not reach results
+	go send(ch)
+}
+
+func SpawnNoReason(ch chan int) {
+	//simcheck:allow(detlint) // want `needs a justification`
+	go send(ch)
+}
+
+func MapAppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over a map`
+	}
+	return keys
+}
+
+func MapAppendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below: fine
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func MapAppendLocal(m map[string]int) int {
+	n := 0
+	for k := range m {
+		var parts []byte
+		parts = append(parts, k...) // per-iteration slice: order never escapes
+		n += len(parts)
+	}
+	return n
+}
+
+func MapPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside range over a map`
+	}
+}
+
+type pusher struct{}
+
+func (pusher) Push(int) {}
+
+func MapPush(m map[string]int, p pusher) {
+	for _, v := range m {
+		p.Push(v) // want `Push inside range over a map`
+	}
+}
+
+func MapSend(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside range over a map`
+	}
+}
+
+func SliceAppend(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v) // slice iteration is ordered: fine
+	}
+	return out
+}

@@ -1,0 +1,6 @@
+// Package other is outside the deterministic core: nothing is flagged.
+package other
+
+import "time"
+
+func Fine() time.Time { return time.Now() }

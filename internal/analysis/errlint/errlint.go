@@ -1,0 +1,175 @@
+// Package errlint implements the sentinel-error-hygiene analyzer of the
+// simcheck suite.
+//
+// The pipeline's error surface is built on wrapping: sim.Run returns a
+// *CanceledError that wraps ctx.Err() and Is-matches sim.ErrCanceled;
+// experiments wraps worker panics the same way. Identity comparison and
+// concrete type assertion silently stop matching the moment anyone adds a
+// fmt.Errorf("...: %w", err) layer, so errlint enforces:
+//
+//   - comparisons against package-level Err* sentinels use errors.Is, not
+//     == / != (the one exception is the sentinel's own Is method, which
+//     is exactly where the identity comparison belongs)
+//   - typed errors (*CanceledError, *WorkerPanicError, *ConfigError, and
+//     any other pointer-to-struct *XxxError implementing error) are
+//     retrieved with errors.As, never by type assertion or type switch
+package errlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/simdir"
+)
+
+// Name is the analyzer name used in diagnostics and allow directives.
+const Name = "errlint"
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "require errors.Is for Err* sentinels and errors.As for *XxxError types",
+	Run:  run,
+}
+
+var (
+	errorType  = types.Universe.Lookup("error").Type()
+	errorIface = errorType.Underlying().(*types.Interface)
+)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dir := simdir.Parse(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if isErrorIsMethod(pass, n) {
+					return false // target == ErrFoo inside Is() is the pattern itself
+				}
+			case *ast.BinaryExpr:
+				checkComparison(pass, dir, n)
+			case *ast.TypeAssertExpr:
+				checkAssert(pass, dir, n)
+			case *ast.TypeSwitchStmt:
+				checkTypeSwitch(pass, dir, n)
+				// Case clauses contain TypeAssertExpr-free types; the cases
+				// are reported above, keep walking for nested expressions.
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isErrorIsMethod matches `func (e *T) Is(target error) bool`.
+func isErrorIsMethod(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || fn.Name.Name != "Is" {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && types.Identical(sig.Params().At(0).Type(), errorType)
+}
+
+// sentinelObj returns the package-level Err* error variable behind expr,
+// or nil.
+func sentinelObj(pass *analysis.Pass, expr ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") || len(v.Name()) < 4 {
+		return nil
+	}
+	// Package-level variables have the package scope as parent.
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.Implements(v.Type(), errorIface) {
+		return nil
+	}
+	return v
+}
+
+func checkComparison(pass *analysis.Pass, dir *simdir.Directives, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if obj := sentinelObj(pass, side); obj != nil {
+			dir.Report(pass, Name, b.Pos(),
+				"comparing against sentinel %s with %s breaks once the error is wrapped; use errors.Is(err, %s)", obj.Name(), b.Op, obj.Name())
+			return
+		}
+	}
+}
+
+// typedErrorName returns the *XxxError struct name if t is a pointer to a
+// named struct type implementing error whose name ends in Error.
+func typedErrorName(t types.Type) (string, bool) {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return "", false
+	}
+	name := named.Obj().Name()
+	if !strings.HasSuffix(name, "Error") || name == "Error" {
+		return "", false
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return "", false
+	}
+	if !types.Implements(ptr, errorIface) {
+		return "", false
+	}
+	return name, true
+}
+
+func checkAssert(pass *analysis.Pass, dir *simdir.Directives, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return // x.(type) inside a type switch; handled there
+	}
+	t := pass.TypesInfo.TypeOf(ta.Type)
+	if t == nil {
+		return
+	}
+	if name, ok := typedErrorName(t); ok {
+		dir.Report(pass, Name, ta.Pos(),
+			"type assertion to *%s misses wrapped errors; use errors.As(err, &target)", name)
+	}
+}
+
+func checkTypeSwitch(pass *analysis.Pass, dir *simdir.Directives, ts *ast.TypeSwitchStmt) {
+	for _, clause := range ts.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, texpr := range cc.List {
+			t := pass.TypesInfo.TypeOf(texpr)
+			if t == nil {
+				continue
+			}
+			if name, ok := typedErrorName(t); ok {
+				dir.Report(pass, Name, texpr.Pos(),
+					"type switch case *%s misses wrapped errors; use errors.As(err, &target)", name)
+			}
+		}
+	}
+}

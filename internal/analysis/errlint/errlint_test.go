@@ -1,0 +1,12 @@
+package errlint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/errlint"
+)
+
+func TestErrlint(t *testing.T) {
+	analyzertest.Run(t, "testdata", errlint.Analyzer, "errs")
+}

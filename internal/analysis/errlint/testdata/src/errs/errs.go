@@ -1,0 +1,54 @@
+// Package errs exercises errlint: sentinel and typed-error hygiene.
+package errs
+
+import "errors"
+
+var ErrCanceled = errors.New("canceled")
+
+type CanceledError struct{ drained int }
+
+func (e *CanceledError) Error() string { return "canceled" }
+
+// Is carries the one legitimate identity comparison.
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
+
+func Identity(err error) bool {
+	return err == ErrCanceled // want `use errors\.Is\(err, ErrCanceled\)`
+}
+
+func NotIdentity(err error) bool {
+	return err != ErrCanceled // want `use errors\.Is\(err, ErrCanceled\)`
+}
+
+func Good(err error) bool { return errors.Is(err, ErrCanceled) }
+
+func NilCompare(err error) bool { return err == nil }
+
+func Assert(err error) int {
+	if ce, ok := err.(*CanceledError); ok { // want `use errors\.As`
+		return ce.drained
+	}
+	return 0
+}
+
+func Switch(err error) int {
+	switch e := err.(type) {
+	case *CanceledError: // want `use errors\.As`
+		return e.drained
+	default:
+		return 0
+	}
+}
+
+func GoodAs(err error) int {
+	var ce *CanceledError
+	if errors.As(err, &ce) {
+		return ce.drained
+	}
+	return 0
+}
+
+func Allowed(err error) bool {
+	//simcheck:allow(errlint) exact-identity probe in the dedup cache; wrapped values must not match here
+	return err == ErrCanceled
+}

@@ -1,0 +1,192 @@
+// Package hotpath implements the allocation-discipline analyzer of the
+// simcheck suite.
+//
+// The dispatch loop runs at 0 allocs/event (TestZeroAllocSteadyState);
+// regressions there show up as an opaque allocation count. hotpath turns
+// that runtime failure into a line-precise vet diagnostic: any function
+// whose doc comment carries //simcheck:hotpath is checked for the
+// constructs that make the Go compiler heap-allocate:
+//
+//   - function literals (closure capture allocates)
+//   - fmt.* calls (variadic ...any boxes every argument)
+//   - string concatenation (builds a new backing array)
+//   - append (may grow the backing array; rings and high-water bucket
+//     stores amortize this and carry a justified allow marker)
+//   - make / new (direct allocations)
+//   - implicit conversion of a concrete non-pointer value to an interface
+//     type (boxes the value)
+//
+// Deliberately amortized sites carry //simcheck:allow(hotpath) with a
+// justification, which keeps the zero-alloc argument auditable in source.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/simdir"
+)
+
+// Name is the analyzer name used in diagnostics and allow directives.
+const Name = "hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "flag allocation-causing constructs inside //simcheck:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dir := simdir.Parse(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !simdir.IsHotpath(fn) {
+				continue
+			}
+			checkBody(pass, dir, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkBody(pass *analysis.Pass, dir *simdir.Directives, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			dir.Report(pass, Name, n.Pos(),
+				"function literal in hot path allocates a closure per call; hoist it to a prebuilt field (see the engine's once-per-object callbacks)")
+			return false // the literal itself is the diagnostic; don't cascade
+		case *ast.BinaryExpr:
+			checkConcat(pass, dir, n)
+		case *ast.CallExpr:
+			checkCall(pass, dir, n)
+			checkCallConversions(pass, dir, n)
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				if i < len(n.Lhs) {
+					checkConversion(pass, dir, info.TypeOf(n.Lhs[i]), r)
+				}
+			}
+		case *ast.ReturnStmt:
+			res := fnResults(pass, fn)
+			for i, r := range n.Results {
+				if res != nil && i < res.Len() {
+					checkConversion(pass, dir, res.At(i).Type(), r)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func fnResults(pass *analysis.Pass, fn *ast.FuncDecl) *types.Tuple {
+	obj := pass.TypesInfo.Defs[fn.Name]
+	if obj == nil {
+		return nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Results()
+}
+
+func checkConcat(pass *analysis.Pass, dir *simdir.Directives, b *ast.BinaryExpr) {
+	if b.Op.String() != "+" {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(b)
+	if t == nil {
+		return
+	}
+	if basic, ok := t.Underlying().(*types.Basic); !ok || basic.Info()&types.IsString == 0 {
+		return
+	}
+	// Constant folding: a concatenation of constants never reaches runtime.
+	if tv, ok := pass.TypesInfo.Types[b]; ok && tv.Value != nil {
+		return
+	}
+	dir.Report(pass, Name, b.Pos(),
+		"string concatenation in hot path allocates a new backing array every call")
+}
+
+func checkCall(pass *analysis.Pass, dir *simdir.Directives, call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			switch fun.Name {
+			case "append":
+				dir.Report(pass, Name, call.Pos(),
+					"append in hot path may grow the backing array; preallocate (high-water ring / free list) or justify with //simcheck:allow(hotpath)")
+			case "make", "new":
+				dir.Report(pass, Name, call.Pos(),
+					"%s in hot path allocates; move construction to setup or a free list", fun.Name)
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			dir.Report(pass, Name, call.Pos(),
+				"fmt.%s in hot path boxes every argument into ...any; format outside the dispatch loop", obj.Name())
+		}
+	}
+}
+
+// checkCallConversions flags concrete non-pointer arguments passed to
+// interface parameters — the implicit boxing that shows up as one alloc
+// per event in the steady-state test.
+func checkCallConversions(pass *analysis.Pass, dir *simdir.Directives, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if ok && tv.IsType() {
+		// Explicit conversion T(x).
+		if len(call.Args) == 1 {
+			checkConversion(pass, dir, tv.Type, call.Args[0])
+		}
+		return
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkConversion(pass, dir, pt, arg)
+	}
+}
+
+// checkConversion reports arg when assigning it to target boxes a concrete
+// non-pointer value into an interface.
+func checkConversion(pass *analysis.Pass, dir *simdir.Directives, target types.Type, arg ast.Expr) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	at := pass.TypesInfo.TypeOf(arg)
+	if at == nil {
+		return
+	}
+	if basic, ok := at.Underlying().(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return
+	}
+	switch at.Underlying().(type) {
+	case *types.Interface, *types.Pointer:
+		return // already boxed / pointer payload needs no data allocation
+	}
+	dir.Report(pass, Name, arg.Pos(),
+		"implicit conversion of concrete %s to interface %s in hot path boxes the value (one allocation per event)", at, target)
+}

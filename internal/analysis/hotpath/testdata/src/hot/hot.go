@@ -1,0 +1,86 @@
+// Package hot is a hotpath fixture modeling dispatch-loop functions.
+package hot
+
+import "fmt"
+
+type item struct{ v int }
+
+var sink interface{}
+
+type ring struct {
+	buf  []int
+	head int
+}
+
+//simcheck:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v) // want `append in hot path`
+}
+
+//simcheck:hotpath
+func (r *ring) pushAllowed(v int) {
+	r.buf = append(r.buf, v) //simcheck:allow(hotpath) amortized: high-water ring reuses its backing array across runs
+}
+
+//simcheck:hotpath
+func logEvent() {
+	fmt.Println() // want `fmt\.Println in hot path`
+}
+
+//simcheck:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation in hot path`
+}
+
+//simcheck:hotpath
+func constConcat() string {
+	return "a" + "b" // folded at compile time: fine
+}
+
+//simcheck:hotpath
+func closure(n int) func() int {
+	return func() int { return n } // want `function literal in hot path`
+}
+
+//simcheck:hotpath
+func construct() *item {
+	_ = make([]int, 4) // want `make in hot path allocates`
+	return new(item)   // want `new in hot path allocates`
+}
+
+func consume(x interface{}) {}
+
+//simcheck:hotpath
+func boxArg(v int) {
+	consume(v) // want `implicit conversion of concrete int to interface`
+}
+
+//simcheck:hotpath
+func boxAssign(v item) {
+	sink = v // want `implicit conversion of concrete hot\.item to interface`
+}
+
+//simcheck:hotpath
+func pointerNoBox(p *item) {
+	sink = p // pointer payload: no data allocation, fine
+}
+
+//simcheck:hotpath
+func boxReturn(v int) interface{} {
+	return v // want `implicit conversion of concrete int to interface`
+}
+
+//simcheck:hotpath
+func passThrough(args []interface{}) {
+	consume2(args...) // forwarding the slice: no per-element boxing
+}
+
+func consume2(xs ...interface{}) {}
+
+// coldPath has every construct but no marker: nothing is flagged.
+func coldPath(a, b string) string {
+	_ = make([]int, 4)
+	fmt.Println()
+	sink = 1
+	return a + b
+}

@@ -1,0 +1,27 @@
+// Package analysis hosts simcheck, the repository's go/analysis lint
+// suite. Each subpackage implements one analyzer enforcing an invariant
+// the paper artifacts depend on; cmd/simcheck wires them into a vettool.
+// docs/ARCHITECTURE.md §8 maps each analyzer to the runtime test it
+// backstops.
+package analysis
+
+import (
+	goanalysis "golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/ctxfirst"
+	"repro/internal/analysis/detlint"
+	"repro/internal/analysis/errlint"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/tracelint"
+)
+
+// Analyzers returns the full simcheck suite in stable order.
+func Analyzers() []*goanalysis.Analyzer {
+	return []*goanalysis.Analyzer{
+		detlint.Analyzer,
+		hotpath.Analyzer,
+		ctxfirst.Analyzer,
+		tracelint.Analyzer,
+		errlint.Analyzer,
+	}
+}

@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	simcheck "repro/internal/analysis"
+)
+
+// TestAnalyzerNamesAndDocs pins the suite composition: five analyzers,
+// stable names (the allow-directive grammar depends on them), docs set.
+func TestAnalyzerNamesAndDocs(t *testing.T) {
+	want := []string{"detlint", "hotpath", "ctxfirst", "tracelint", "errlint"}
+	as := simcheck.Analyzers()
+	if len(as) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(as), len(want))
+	}
+	for i, a := range as {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}
+
+// TestSimcheckCleanOverRepo builds cmd/simcheck and runs it through
+// `go vet -vettool` over the whole repository: the tree must be clean.
+// This is the same gate `make lint` enforces.
+func TestSimcheckCleanOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole tree; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	tool := filepath.Join(t.TempDir(), "simcheck")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/simcheck")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cmd/simcheck: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("simcheck found violations (the tree must vet clean):\n%s", out)
+	}
+}

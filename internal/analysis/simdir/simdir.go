@@ -1,0 +1,126 @@
+// Package simdir parses the //simcheck:* source directives shared by the
+// simcheck analyzer suite (internal/analysis/...).
+//
+// Two directives exist:
+//
+//	//simcheck:hotpath
+//	    Placed in the doc comment of a function declaration, it marks the
+//	    function as part of the zero-allocation dispatch hot path. The
+//	    hotpath analyzer checks every construct inside such a function
+//	    that can cause a heap allocation.
+//
+//	//simcheck:allow(<analyzer>) <justification>
+//	    Placed on (or on the line directly above) a flagged line, it
+//	    suppresses the named analyzer's diagnostic for that line. The
+//	    justification text is mandatory: an allow marker without one is
+//	    itself a diagnostic, so every suppression documents why the
+//	    invariant is safe to break at that site.
+package simdir
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// HotpathMarker is the directive that opts a function into hot-path
+// allocation checking.
+const HotpathMarker = "//simcheck:hotpath"
+
+var allowRE = regexp.MustCompile(`^//simcheck:allow\(([a-zA-Z0-9_-]+)\)[ \t]*(.*)$`)
+
+// Allow is one parsed //simcheck:allow directive.
+type Allow struct {
+	Analyzer      string    // analyzer name inside the parentheses
+	Justification string    // trailing free text; empty is a violation
+	Pos           token.Pos // position of the directive comment
+	File          string
+	Line          int
+
+	used            bool
+	reportedMissing bool
+}
+
+// Directives indexes every //simcheck:allow directive of the files of one
+// analysis pass, keyed by file and line.
+type Directives struct {
+	allows map[string][]*Allow // filename -> directives, in file order
+}
+
+// Parse scans the comments of every file in the pass and returns the
+// directive index for it.
+func Parse(pass *analysis.Pass) *Directives {
+	d := &Directives{allows: make(map[string][]*Allow)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := pass.Fset.Position(c.Slash)
+				just := strings.TrimSpace(m[2])
+				// A trailing comment is not a justification.
+				if i := strings.Index(just, "//"); i >= 0 {
+					just = strings.TrimSpace(just[:i])
+				}
+				d.allows[p.Filename] = append(d.allows[p.Filename], &Allow{
+					Analyzer:      m[1],
+					Justification: just,
+					Pos:           c.Slash,
+					File:          p.Filename,
+					Line:          p.Line,
+				})
+			}
+		}
+	}
+	return d
+}
+
+// lookup returns the allow directive covering (file, line) for the named
+// analyzer: either a trailing comment on the same line or a comment on the
+// line directly above.
+func (d *Directives) lookup(analyzer, file string, line int) *Allow {
+	for _, a := range d.allows[file] {
+		if a.Analyzer != analyzer {
+			continue
+		}
+		if a.Line == line || a.Line == line-1 {
+			return a
+		}
+	}
+	return nil
+}
+
+// Report emits the diagnostic unless an allow directive for the analyzer
+// covers pos. A covering directive with an empty justification is reported
+// once as its own violation — suppressions must say why.
+func (d *Directives) Report(pass *analysis.Pass, analyzer string, pos token.Pos, format string, args ...any) {
+	p := pass.Fset.Position(pos)
+	if a := d.lookup(analyzer, p.Filename, p.Line); a != nil {
+		a.used = true
+		if a.Justification == "" && !a.reportedMissing {
+			a.reportedMissing = true
+			pass.Reportf(a.Pos, "simcheck:allow(%s) needs a justification after the marker explaining why this site is safe", analyzer)
+		}
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// IsHotpath reports whether the function declaration carries the
+// //simcheck:hotpath marker in its doc comment.
+func IsHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), HotpathMarker) {
+			return true
+		}
+	}
+	return false
+}

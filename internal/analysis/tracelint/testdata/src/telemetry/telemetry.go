@@ -1,0 +1,17 @@
+// Package telemetry is a tracelint fixture modeling the real
+// internal/telemetry API surface (matched by package name).
+package telemetry
+
+type Tracer struct{}
+
+func (*Tracer) Emit(event string, args ...interface{}) {}
+
+type Counter struct{}
+
+func (*Counter) Inc() {}
+
+type Registry struct{}
+
+func (*Registry) Counter(name string) *Counter                     { return &Counter{} }
+func (*Registry) Gauge(name string) float64                        { return 0 }
+func (*Registry) Histogram(name string, bounds ...float64) float64 { return 0 }

@@ -1,0 +1,29 @@
+// Package traceuser exercises tracelint against the fixture telemetry API.
+package traceuser
+
+import "telemetry"
+
+const evRunStart = "run.start"
+
+func seriesName(i int) string { return "dynamic" }
+
+func Use(t *telemetry.Tracer, r *telemetry.Registry, dyn string) {
+	t.Emit("runner.span")
+	t.Emit("sim.sample", "mc", 0)
+	t.Emit("eventq.resize")
+	t.Emit(evRunStart) // named constant: as greppable as a literal
+	t.Emit(dyn)          // want `event name is computed at run time`
+	t.Emit("Runner.Span") // want `must match \(run\|runner\|sim\|eventq\)`
+	t.Emit("other.event") // want `must match \(run\|runner\|sim\|eventq\)`
+
+	r.Counter("runner_sim_total").Inc()
+	r.Counter("runner_sim")       // want `must end in _total`
+	r.Counter("runner-sim_total") // want `lower_snake_case`
+	r.Counter("runner_" + dyn + "_total") // want `counter name is computed at run time`
+	_ = r.Gauge("sim_mc0_util")
+	_ = r.Gauge("simMcUtil") // want `must be lower_snake_case`
+	_ = r.Histogram("runner_execute_ms", 1, 10)
+
+	//simcheck:allow(tracelint) per-MC gauge family is indexed by controller id; prefix and suffix stay literal at this one site
+	_ = r.Gauge(seriesName(0))
+}

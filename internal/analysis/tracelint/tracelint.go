@@ -1,0 +1,128 @@
+// Package tracelint implements the telemetry-naming analyzer of the
+// simcheck suite.
+//
+// The NDJSON trace and Prometheus surfaces are golden-tested and meant to
+// be grepped: every event and metric name must be a compile-time string
+// literal in a registered namespace, so `grep -r '"runner.span"'` finds
+// every producer and the golden files never see a name computed at run
+// time. tracelint checks each call into internal/telemetry:
+//
+//   - Tracer.Emit's event name must be a literal matching
+//     (run|runner|sim|eventq).lower_snake[.more] — the namespaces
+//     registered in docs/ARCHITECTURE.md §6
+//   - Registry.Counter/Gauge/Histogram names must be literal
+//     lower_snake_case; counters must end in _total (Prometheus
+//     convention, keeps rate() queries honest)
+//
+// Families that genuinely need an index (per-MC gauges) carry a justified
+// //simcheck:allow(tracelint) at the call site.
+package tracelint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/simdir"
+)
+
+// Name is the analyzer name used in diagnostics and allow directives.
+const Name = "tracelint"
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "require literal, namespaced event and metric names at every internal/telemetry call site",
+	Run:  run,
+}
+
+var (
+	eventRE  = regexp.MustCompile(`^(run|runner|sim|eventq)\.[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+	metricRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "telemetry" || pass.Pkg.Name() == "telemetry_test" {
+		// The defining package unit-tests the registry mechanism with
+		// placeholder names; namespace rules bind its consumers.
+		return nil, nil
+	}
+	dir := simdir.Parse(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || !isTelemetryMethod(obj) || len(call.Args) == 0 {
+				return true
+			}
+			switch obj.Name() {
+			case "Emit":
+				checkName(pass, dir, call.Args[0], "event", eventRE,
+					"must match (run|runner|sim|eventq).lower_snake — the registered trace namespaces")
+			case "Counter":
+				checkName(pass, dir, call.Args[0], "counter", metricRE,
+					"must be lower_snake_case ending in _total")
+			case "Gauge", "Histogram":
+				checkName(pass, dir, call.Args[0], strings.ToLower(obj.Name()), metricRE,
+					"must be lower_snake_case")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isTelemetryMethod reports whether obj is a method of a type defined in
+// a package named telemetry (matched by name so fixtures can model it).
+func isTelemetryMethod(obj *types.Func) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Pkg().Name() == "telemetry"
+}
+
+func checkName(pass *analysis.Pass, dir *simdir.Directives, arg ast.Expr, kind string, re *regexp.Regexp, rule string) {
+	lit, ok := literalString(pass, arg)
+	if !ok {
+		dir.Report(pass, Name, arg.Pos(),
+			"%s name is computed at run time; telemetry names must be string literals so the NDJSON/Prometheus surfaces stay greppable and golden-testable", kind)
+		return
+	}
+	if !re.MatchString(lit) {
+		dir.Report(pass, Name, arg.Pos(), "%s name %q %s", kind, lit, rule)
+		return
+	}
+	if kind == "counter" && !strings.HasSuffix(lit, "_total") {
+		dir.Report(pass, Name, arg.Pos(), "counter name %q must end in _total (Prometheus counter convention)", lit)
+	}
+}
+
+// literalString unwraps a string literal or a named constant with a
+// constant string value (constants are as greppable as literals).
+func literalString(pass *analysis.Pass, arg ast.Expr) (string, bool) {
+	if lit, ok := arg.(*ast.BasicLit); ok {
+		s, err := strconv.Unquote(lit.Value)
+		return s, err == nil
+	}
+	// A declared string constant keeps the name findable at its single
+	// declaration site; accept it.
+	switch arg.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return constant.StringVal(tv.Value), true
+		}
+	}
+	return "", false
+}

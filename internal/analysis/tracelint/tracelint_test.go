@@ -1,0 +1,12 @@
+package tracelint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/tracelint"
+)
+
+func TestTracelint(t *testing.T) {
+	analyzertest.Run(t, "testdata", tracelint.Analyzer, "traceuser")
+}

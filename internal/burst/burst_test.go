@@ -1,6 +1,7 @@
 package burst
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -46,7 +47,7 @@ func TestSizes(t *testing.T) {
 }
 
 func TestAnalyzeNoTraffic(t *testing.T) {
-	if _, err := Analyze([]uint64{0, 0}); err != ErrNoTraffic {
+	if _, err := Analyze([]uint64{0, 0}); !errors.Is(err, ErrNoTraffic) {
 		t.Errorf("err = %v", err)
 	}
 }

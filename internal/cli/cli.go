@@ -108,13 +108,14 @@ func (c *Common) WorkloadClass() workload.Class { return workload.Class(c.Class)
 // Tuning returns the workload tuning implied by -scale.
 func (c *Common) Tuning() workload.Tuning { return workload.Tuning{RefScale: c.Scale} }
 
-// SignalContext returns a context canceled on SIGINT/SIGTERM, so Ctrl-C
-// (or the CI resilience job's kill) propagates through the runner into
-// every in-flight simulation instead of tearing the process down
-// mid-write. A second signal falls back to the default handler and kills
-// the process outright.
-func SignalContext() (context.Context, context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+// SignalContext derives from parent a context canceled on SIGINT/SIGTERM,
+// so Ctrl-C (or the CI resilience job's kill) propagates through the
+// runner into every in-flight simulation instead of tearing the process
+// down mid-write. A second signal falls back to the default handler and
+// kills the process outright. Commands pass context.Background(); library
+// code must not create root contexts (enforced by simcheck's ctxfirst).
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, syscall.SIGINT, syscall.SIGTERM)
 }
 
 // NewRunner builds an experiments.Runner wired from the registered flags:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -77,7 +78,7 @@ func TestFitSingleSaturation(t *testing.T) {
 }
 
 func TestFitSingleErrors(t *testing.T) {
-	if _, err := FitSingle(nil); err != ErrTooFewMeasurements {
+	if _, err := FitSingle(nil); !errors.Is(err, ErrTooFewMeasurements) {
 		t.Errorf("err = %v", err)
 	}
 	if _, err := FitSingle([]Measurement{{Cores: 1, Cycles: 0}, {Cores: 2, Cycles: 1}}); err == nil {
@@ -286,10 +287,10 @@ func TestHomogeneousAblationDegradesHeterogeneousMachine(t *testing.T) {
 
 func TestValidateBaselineRequired(t *testing.T) {
 	m := Model{Kind: NUMA, Sockets: 2, CoresPerSocket: 2, C1: 1}
-	if _, err := Validate(m, []Measurement{{Cores: 3, Cycles: 5}}); err != ErrNoBaseline {
+	if _, err := Validate(m, []Measurement{{Cores: 3, Cycles: 5}}); !errors.Is(err, ErrNoBaseline) {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := Validate(m, nil); err != ErrTooFewMeasurements {
+	if _, err := Validate(m, nil); !errors.Is(err, ErrTooFewMeasurements) {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -313,7 +314,7 @@ func TestCurve(t *testing.T) {
 }
 
 func TestFitErrors(t *testing.T) {
-	if _, err := Fit(NUMA, 0, 4, nil, Options{}); err != ErrBadGeometry {
+	if _, err := Fit(NUMA, 0, 4, nil, Options{}); !errors.Is(err, ErrBadGeometry) {
 		t.Errorf("err = %v", err)
 	}
 	// NUMA needs miss counts.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/machine"
@@ -16,10 +17,10 @@ func memBoundProfile() Profile {
 
 func TestNewWhiteBoxValidation(t *testing.T) {
 	spec := machine.IntelNUMA24()
-	if _, err := NewWhiteBox(spec, Profile{Misses: 0}); err != ErrBadProfile {
+	if _, err := NewWhiteBox(spec, Profile{Misses: 0}); !errors.Is(err, ErrBadProfile) {
 		t.Errorf("zero misses: err = %v", err)
 	}
-	if _, err := NewWhiteBox(spec, Profile{Misses: 1, DepFraction: 2}); err != ErrBadProfile {
+	if _, err := NewWhiteBox(spec, Profile{Misses: 1, DepFraction: 2}); !errors.Is(err, ErrBadProfile) {
 		t.Errorf("bad dep fraction: err = %v", err)
 	}
 	bad := spec

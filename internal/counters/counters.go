@@ -103,6 +103,8 @@ type Accumulator struct {
 }
 
 // AddResult folds one simulation result into the accumulator.
+//
+//simcheck:hotpath
 func (a *Accumulator) AddResult(r sim.Result) {
 	a.v[0] += r.TotalCycles
 	a.v[1] += r.Instructions
@@ -115,6 +117,8 @@ func (a *Accumulator) AddResult(r sim.Result) {
 }
 
 // AddThread folds one per-thread counter snapshot into the accumulator.
+//
+//simcheck:hotpath
 func (a *Accumulator) AddThread(t sim.ThreadStats) {
 	a.v[0] += t.Cycles()
 	a.v[1] += t.Instructions
@@ -127,6 +131,8 @@ func (a *Accumulator) AddThread(t sim.ThreadStats) {
 }
 
 // Add increments a single event (no-op for events outside the paper's set).
+//
+//simcheck:hotpath
 func (a *Accumulator) Add(e Event, delta uint64) {
 	if i, ok := index[e]; ok {
 		a.v[i] += delta

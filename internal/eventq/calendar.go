@@ -53,6 +53,7 @@ func (b *bucket) len() int { return len(b.ev) - b.head }
 
 func (b *bucket) front() *event { return &b.ev[b.head] }
 
+//simcheck:hotpath
 func (b *bucket) popFront() event {
 	e := b.ev[b.head]
 	b.ev[b.head] = event{}
@@ -65,7 +66,10 @@ func (b *bucket) popFront() event {
 }
 
 // insert places ev in sorted (t, seq) position, walking back from the tail.
+//
+//simcheck:hotpath
 func (b *bucket) insert(ev event) {
+	//simcheck:allow(hotpath) high-water bucket store: the backing array is retained across pops (popFront resets to ev[:0]), so append stops allocating once the run reaches steady state — TestZeroAllocSteadyState pins this
 	b.ev = append(b.ev, ev)
 	for i := len(b.ev) - 1; i > b.head && b.ev[i].before(b.ev[i-1]); i-- {
 		b.ev[i], b.ev[i-1] = b.ev[i-1], b.ev[i]
@@ -88,6 +92,8 @@ func (q *Queue) Dispatched() uint64 { return q.dispatched }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) is clamped to Now, which keeps zero-latency interactions safe.
+//
+//simcheck:hotpath
 func (q *Queue) At(t uint64, fn func()) {
 	if t < q.now {
 		t = q.now
@@ -103,6 +109,8 @@ func (q *Queue) At(t uint64, fn func()) {
 }
 
 // After schedules fn to run d cycles from now.
+//
+//simcheck:hotpath
 func (q *Queue) After(d uint64, fn func()) {
 	q.At(q.now+d, fn)
 }
@@ -179,6 +187,8 @@ func spreadWidth(all []event) uint64 {
 // the day under scan, which defers far-future events to their own year. If
 // a whole year holds nothing current, the queue is sparse and the minimum
 // is found directly over bucket heads.
+//
+//simcheck:hotpath
 func (q *Queue) pop() (event, bool) {
 	if q.n == 0 {
 		return event{}, false
@@ -205,6 +215,7 @@ func (q *Queue) pop() (event, bool) {
 	return q.take(&q.buckets[best]), true
 }
 
+//simcheck:hotpath
 func (q *Queue) take(b *bucket) event {
 	ev := b.popFront()
 	q.n--
@@ -241,6 +252,8 @@ func (q *Queue) peekTime() (uint64, bool) {
 
 // Step pops and runs the earliest event, advancing the clock to its time.
 // It reports whether an event was run.
+//
+//simcheck:hotpath
 func (q *Queue) Step() bool {
 	ev, ok := q.pop()
 	if !ok {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -209,7 +210,7 @@ func (r *Runner) Fig4(ctx context.Context, spec machine.Spec) ([]Fig4Series, err
 			return err
 		}
 		a, err := burst.Analyze(s.Windows())
-		if err == burst.ErrNoTraffic {
+		if errors.Is(err, burst.ErrNoTraffic) {
 			// Fully cached run: report an empty bursty profile.
 			series[i] = Fig4Series{Program: subj.program, Class: subj.class, Verdict: burst.Bursty}
 			return nil

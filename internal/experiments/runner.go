@@ -339,9 +339,18 @@ func (r *Runner) notePanic(key RunKey, err error) {
 func (r *Runner) report(outcome string, spec machine.Spec, program string, class workload.Class, cores int, wait, exec time.Duration, res sim.Result) {
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	if r.Metrics != nil {
-		r.Metrics.Counter("runner_" + outcome + "_total").Inc()
-		if outcome == outcomeSim {
+		// One literal per outcome keeps every metric name greppable
+		// (enforced by simcheck's tracelint).
+		switch outcome {
+		case outcomeSim:
+			r.Metrics.Counter("runner_sim_total").Inc()
 			r.Metrics.Histogram("runner_execute_ms", 1, 10, 100, 1000, 10000).Observe(ms(exec))
+		case outcomeDedup:
+			r.Metrics.Counter("runner_dedup_total").Inc()
+		case outcomeCache:
+			r.Metrics.Counter("runner_cache_total").Inc()
+		case outcomeResumed:
+			r.Metrics.Counter("runner_resumed_total").Inc()
 		}
 	}
 	if r.Tracer.Enabled() {

@@ -172,6 +172,7 @@ func (r *reqRing) at(i int) *request {
 	return &r.buf[(r.head+i)&(len(r.buf)-1)]
 }
 
+//simcheck:hotpath
 func (r *reqRing) push(req request) {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -195,6 +196,8 @@ func (r *reqRing) grow() {
 // popAt removes and returns the i-th queued request, preserving the order
 // of the rest. Entries before i shift one slot toward the tail so the
 // common i==0 case is O(1).
+//
+//simcheck:hotpath
 func (r *reqRing) popAt(i int) request {
 	req := *r.at(i)
 	for ; i > 0; i-- {
@@ -305,6 +308,8 @@ func (c *Controller) bankOf(addr uint64) int {
 // invoked exactly once, at the simulated completion time, with whether the
 // request was serviced from an open row. Submit returns ErrQueueFull when a
 // bounded queue is full.
+//
+//simcheck:hotpath
 func (c *Controller) Submit(addr uint64, done func(rowHit bool)) error {
 	chIdx := c.route(addr)
 	ch := &c.chans[chIdx]

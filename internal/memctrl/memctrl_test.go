@@ -1,6 +1,7 @@
 package memctrl
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -185,7 +186,7 @@ func TestMaxQueueRejection(t *testing.T) {
 	if err := c.Submit(8192, noop); err != nil { // queued (1 <= max)
 		t.Fatal(err)
 	}
-	if err := c.Submit(16384, noop); err != ErrQueueFull {
+	if err := c.Submit(16384, noop); !errors.Is(err, ErrQueueFull) {
 		t.Errorf("err = %v, want ErrQueueFull", err)
 	}
 	if c.Stats().Rejected != 1 {

@@ -1,6 +1,7 @@
 package mmq
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -41,7 +42,7 @@ func TestMM1Unstable(t *testing.T) {
 		if q.Stable() {
 			t.Errorf("lambda=%v should be unstable", lam)
 		}
-		if _, err := q.ResponseTime(); err != ErrUnstable {
+		if _, err := q.ResponseTime(); !errors.Is(err, ErrUnstable) {
 			t.Errorf("err = %v, want ErrUnstable", err)
 		}
 	}
@@ -139,10 +140,10 @@ func TestMMcMoreServersLowerWait(t *testing.T) {
 }
 
 func TestMMcUnstableAndBadParams(t *testing.T) {
-	if _, err := (MMc{Lambda: 2, Mu: 1, Servers: 2}).ErlangC(); err != ErrUnstable {
+	if _, err := (MMc{Lambda: 2, Mu: 1, Servers: 2}).ErlangC(); !errors.Is(err, ErrUnstable) {
 		t.Errorf("err = %v, want ErrUnstable", err)
 	}
-	if _, err := (MMc{Lambda: 1, Mu: 1, Servers: 0}).ErlangC(); err != ErrBadParam {
+	if _, err := (MMc{Lambda: 1, Mu: 1, Servers: 0}).ErlangC(); !errors.Is(err, ErrBadParam) {
 		t.Errorf("err = %v, want ErrBadParam", err)
 	}
 }
@@ -176,10 +177,10 @@ func TestMD1HalfTheQueueingOfMM1(t *testing.T) {
 }
 
 func TestMG1BadParams(t *testing.T) {
-	if _, err := (MG1{Lambda: 0.1, ES: 1, ES2: 0.5}).WaitTime(); err != ErrBadParam {
+	if _, err := (MG1{Lambda: 0.1, ES: 1, ES2: 0.5}).WaitTime(); !errors.Is(err, ErrBadParam) {
 		t.Errorf("ES2 < ES^2 must be rejected, err = %v", err)
 	}
-	if _, err := (MG1{Lambda: 2, ES: 1, ES2: 2}).WaitTime(); err != ErrUnstable {
+	if _, err := (MG1{Lambda: 2, ES: 1, ES2: 2}).WaitTime(); !errors.Is(err, ErrUnstable) {
 		t.Errorf("unstable err = %v", err)
 	}
 }
@@ -217,10 +218,10 @@ func TestRepairmanSaturation(t *testing.T) {
 }
 
 func TestRepairmanBadParams(t *testing.T) {
-	if _, _, err := (Repairman{N: 0, Z: 1, Mu: 1}).Solve(); err != ErrBadParam {
+	if _, _, err := (Repairman{N: 0, Z: 1, Mu: 1}).Solve(); !errors.Is(err, ErrBadParam) {
 		t.Errorf("err = %v", err)
 	}
-	if _, _, err := (Repairman{N: 1, Z: -1, Mu: 1}).Solve(); err != ErrBadParam {
+	if _, _, err := (Repairman{N: 1, Z: -1, Mu: 1}).Solve(); !errors.Is(err, ErrBadParam) {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -258,10 +259,10 @@ func TestRepairmanLightLoadMatchesOpenQueue(t *testing.T) {
 }
 
 func TestMMcResponseErrorPropagation(t *testing.T) {
-	if _, err := (MMc{Lambda: 5, Mu: 1, Servers: 2}).ResponseTime(); err != ErrUnstable {
+	if _, err := (MMc{Lambda: 5, Mu: 1, Servers: 2}).ResponseTime(); !errors.Is(err, ErrUnstable) {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := (MMc{Lambda: 5, Mu: 1, Servers: 2}).WaitTime(); err != ErrUnstable {
+	if _, err := (MMc{Lambda: 5, Mu: 1, Servers: 2}).WaitTime(); !errors.Is(err, ErrUnstable) {
 		t.Errorf("err = %v", err)
 	}
 	if (MMc{Lambda: 1, Mu: 1, Servers: 0}).Stable() {
@@ -270,19 +271,19 @@ func TestMMcResponseErrorPropagation(t *testing.T) {
 }
 
 func TestMM1QueueLengthError(t *testing.T) {
-	if _, err := (MM1{Lambda: 2, Mu: 1}).QueueLength(); err != ErrUnstable {
+	if _, err := (MM1{Lambda: 2, Mu: 1}).QueueLength(); !errors.Is(err, ErrUnstable) {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := (MM1{Lambda: 2, Mu: 1}).WaitTime(); err != ErrUnstable {
+	if _, err := (MM1{Lambda: 2, Mu: 1}).WaitTime(); !errors.Is(err, ErrUnstable) {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := (MM1{Lambda: 2, Mu: 1}).ProbN(3); err != ErrUnstable {
+	if _, err := (MM1{Lambda: 2, Mu: 1}).ProbN(3); !errors.Is(err, ErrUnstable) {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestMG1ResponseErrorPropagation(t *testing.T) {
-	if _, err := (MG1{Lambda: 2, ES: 1, ES2: 2}).ResponseTime(); err != ErrUnstable {
+	if _, err := (MG1{Lambda: 2, ES: 1, ES2: 2}).ResponseTime(); !errors.Is(err, ErrUnstable) {
 		t.Errorf("err = %v", err)
 	}
 	if (MG1{Lambda: 0.1, ES: 1, ES2: 0.5}).Stable() {
@@ -300,10 +301,10 @@ func TestRepairmanAccessors(t *testing.T) {
 	if err != nil || x <= 0 {
 		t.Errorf("Throughput = %v, %v", x, err)
 	}
-	if _, err := (Repairman{N: 1, Z: 1, Mu: 0}).ResponseTime(); err != ErrBadParam {
+	if _, err := (Repairman{N: 1, Z: 1, Mu: 0}).ResponseTime(); !errors.Is(err, ErrBadParam) {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := (Repairman{N: 1, Z: 1, Mu: 0}).Throughput(); err != ErrBadParam {
+	if _, err := (Repairman{N: 1, Z: 1, Mu: 0}).Throughput(); !errors.Is(err, ErrBadParam) {
 		t.Errorf("err = %v", err)
 	}
 }

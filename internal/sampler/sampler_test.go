@@ -1,12 +1,13 @@
 package sampler
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(0); err != ErrBadWindow {
+	if _, err := New(0); !errors.Is(err, ErrBadWindow) {
 		t.Errorf("err = %v", err)
 	}
 	s, err := New(100)

@@ -148,6 +148,8 @@ func (e *engine) start() {
 
 // scheduleStep queues a step for core c after delay cycles, unless one is
 // already queued.
+//
+//simcheck:hotpath
 func (e *engine) scheduleStep(c *core, delay uint64) {
 	if c.stepQueued {
 		return
@@ -186,6 +188,8 @@ func (c *core) rotate(quantum uint64) {
 // step runs one batch of the core's current thread: work cycles and cache
 // hits are executed inline until an off-chip miss, the batch limit, or the
 // end of the stream.
+//
+//simcheck:hotpath
 func (e *engine) step(c *core) {
 	th := c.currentThread()
 	if th == nil || th.blocked {
@@ -288,6 +292,8 @@ func (e *engine) coreBusy(c *core) bool {
 
 // chargeQuantum deducts the batch duration from the core's quantum,
 // rotating the run queue on expiry.
+//
+//simcheck:hotpath
 func (e *engine) chargeQuantum(c *core, advance uint64) {
 	if advance >= c.quantumLeft {
 		c.rotate(e.cfg.Quantum)
@@ -404,6 +410,8 @@ type memReq struct {
 
 // getReq returns a request object from the free list, building its
 // callbacks on first allocation.
+//
+//simcheck:hotpath
 func (e *engine) getReq() *memReq {
 	if n := len(e.reqFree); n > 0 {
 		r := e.reqFree[n-1]
@@ -412,21 +420,28 @@ func (e *engine) getReq() *memReq {
 		return r
 	}
 	r := &memReq{e: e}
+	//simcheck:allow(hotpath) once-per-object closures: built only on free-list miss (object construction), reused for the object's whole lifetime
 	r.issueFn = func() { r.e.issueReq(r) }
-	r.advanceFn = r.advance
+	//simcheck:allow(hotpath) once-per-object closure, same lifetime as issueFn above
 	r.doneFn = func(bool) { r.advance() }
+	r.advanceFn = r.advance
 	return r
 }
 
 // putReq returns a request object to the free list. The caller must not
 // touch r afterwards.
+//
+//simcheck:hotpath
 func (e *engine) putReq(r *memReq) {
 	r.c, r.th = nil, nil
+	//simcheck:allow(hotpath) free-list append: capacity high-waters at the in-flight request peak, after which push/pop reuse the same backing array
 	e.reqFree = append(e.reqFree, r)
 }
 
 // issueReq attempts to launch an off-chip request, blocking the thread
 // while its MSHRs are full.
+//
+//simcheck:hotpath
 func (e *engine) issueReq(r *memReq) {
 	c, th := r.c, r.th
 	if th.outstanding >= e.cfg.Spec.MSHRs {
@@ -450,6 +465,8 @@ func (e *engine) issueReq(r *memReq) {
 // launch routes one off-chip request into the pipeline: on-chip cache
 // traversal, then the staged path through bus, link, interconnect hops,
 // memory-controller service, and the return trip (see the st* stages).
+//
+//simcheck:hotpath
 func (e *engine) launch(r *memReq) {
 	c, th := r.c, r.th
 	th.outstanding++
@@ -476,6 +493,8 @@ func (e *engine) launch(r *memReq) {
 // modeled hardware fall through immediately; the others hand the request to
 // a queueing server (bus, link, controller) or schedule a fixed latency,
 // and resume here from the prebuilt callback when it elapses.
+//
+//simcheck:hotpath
 func (r *memReq) advance() {
 	e := r.e
 	for {
@@ -531,6 +550,8 @@ func (r *memReq) advance() {
 }
 
 // complete handles the return of one off-chip request.
+//
+//simcheck:hotpath
 func (e *engine) complete(c *core, th *thread, wasDep bool) {
 	th.outstanding--
 	if !th.blocked {
@@ -549,6 +570,8 @@ func (e *engine) complete(c *core, th *thread, wasDep bool) {
 }
 
 // unblock charges the blocked interval as memory stall and clears flags.
+//
+//simcheck:hotpath
 func (e *engine) unblock(c *core, th *thread) {
 	wait := e.q.Now() - th.blockStart
 	th.st.Stall += wait

@@ -160,6 +160,7 @@ func newObserver(e *engine, cfg *ObserveConfig) *observer {
 		o.samples = reg.Counter("sim_samples_total")
 		o.inflightG = reg.Gauge("sim_inflight_requests")
 		for i := 0; i < nMC; i++ {
+			//simcheck:allow(tracelint) per-MC gauge family is indexed by controller id; prefix and suffix stay literal inside seriesName
 			o.mcUtilG = append(o.mcUtilG, reg.Gauge(seriesName("sim_mc", i, "_util")))
 		}
 	}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -131,7 +132,7 @@ func TestFitTailExponentialIsNotPowerLaw(t *testing.T) {
 
 func TestFitTailInsufficient(t *testing.T) {
 	ccdf := CCDF([]float64{1, 2})
-	if _, err := FitTail(ccdf, 10); err != ErrInsufficientData {
+	if _, err := FitTail(ccdf, 10); !errors.Is(err, ErrInsufficientData) {
 		t.Errorf("err = %v, want ErrInsufficientData", err)
 	}
 }
@@ -218,7 +219,7 @@ func TestHurstPersistentSeries(t *testing.T) {
 }
 
 func TestHurstInsufficient(t *testing.T) {
-	if _, err := Hurst(make([]float64, 4)); err != ErrInsufficientData {
+	if _, err := Hurst(make([]float64, 4)); !errors.Is(err, ErrInsufficientData) {
 		t.Errorf("err = %v", err)
 	}
 }

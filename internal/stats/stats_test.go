@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -34,7 +35,7 @@ func TestDescribeBasic(t *testing.T) {
 }
 
 func TestDescribeEmpty(t *testing.T) {
-	if _, err := Describe(nil); err != ErrInsufficientData {
+	if _, err := Describe(nil); !errors.Is(err, ErrInsufficientData) {
 		t.Errorf("Describe(nil) err = %v, want ErrInsufficientData", err)
 	}
 }
@@ -146,10 +147,10 @@ func TestFitLinearNoisy(t *testing.T) {
 }
 
 func TestFitLinearErrors(t *testing.T) {
-	if _, err := FitLinear([]float64{1}, []float64{1, 2}); err != ErrMismatchedLengths {
+	if _, err := FitLinear([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrMismatchedLengths) {
 		t.Errorf("mismatched: err = %v", err)
 	}
-	if _, err := FitLinear([]float64{1}, []float64{1}); err != ErrInsufficientData {
+	if _, err := FitLinear([]float64{1}, []float64{1}); !errors.Is(err, ErrInsufficientData) {
 		t.Errorf("short: err = %v", err)
 	}
 	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
@@ -230,7 +231,7 @@ func TestRelativeErrorsZeroMeasurement(t *testing.T) {
 }
 
 func TestRelativeErrorsMismatch(t *testing.T) {
-	if _, err := RelativeErrors([]float64{1}, []float64{1, 2}); err != ErrMismatchedLengths {
+	if _, err := RelativeErrors([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrMismatchedLengths) {
 		t.Errorf("err = %v", err)
 	}
 }

@@ -249,6 +249,7 @@ func Gen(gen func(emit func(Ref) bool)) Stream {
 		ch:   make(chan []Ref, 4),
 		stop: make(chan struct{}),
 	}
+	//simcheck:allow(detlint) generator goroutine hands chunks over a synchronized channel; the consumer sees refs in emit order regardless of scheduling
 	go func() {
 		defer close(g.ch)
 		buf := make([]Ref, 0, genChunk)
