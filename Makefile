@@ -8,7 +8,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check build vet lint lint-extra test short race bench microbench artifacts-fast clean
+.PHONY: check build vet lint lint-extra test short race bench microbench artifacts-fast serve serve-smoke docs-check clean
 
 ## check: the tier-1 gate — vet, lint (simcheck), build, race-enabled tests.
 check: vet lint build race
@@ -72,6 +72,24 @@ microbench:
 ## -scale workloads, parallel runs. See EXPERIMENTS.md "fast path".
 artifacts-fast:
 	$(GO) run ./cmd/experiments -run all -scale 0.25 -step 4 -jobs 0 -v
+
+## serve: the contention service with one pair pre-fitted, so the first
+## query already hits the analytical fast path. docs/SERVER.md is the
+## API reference and runbook.
+serve:
+	$(GO) run ./cmd/simserved -addr localhost:8080 -scale 0.1 -warm IntelUMA8/CG.W
+
+## serve-smoke: build simserved, start it, and drive the SERVER.md recipe
+## end to end — health, analytical hit, simulation fallback, analytical
+## latency bound, graceful shutdown. CI runs this in the serve job.
+serve-smoke:
+	scripts/serve_smoke.sh
+
+## docs-check: grep fenced sh blocks in README/EXPERIMENTS/docs for
+## commands, flags and make targets that no longer exist, so the docs
+## cannot silently go stale.
+docs-check:
+	scripts/docs_check.sh
 
 clean:
 	$(GO) clean ./...

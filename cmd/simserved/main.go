@@ -1,0 +1,162 @@
+// Command simserved serves contention predictions over HTTP/JSON:
+// capacity-planning queries ("what is ω(n) for this machine × workload ×
+// scale?") answered in microseconds by the fitted analytical model when
+// it is trustworthy, and by full simulation — cached, deduplicated,
+// journaled — when it is not. docs/SERVER.md is the API reference and
+// operations guide; docs/MODEL.md derives the analytical tier.
+//
+// Usage:
+//
+//	simserved -addr localhost:8080 -scale 0.25 -jobs 4
+//	simserved -warm IntelUMA8/CG.C,IntelNUMA24/CG.C -journal simserved.ndjson
+//
+// Endpoints: POST /v1/predict, GET /v1/catalog, GET /healthz,
+// GET /metrics (Prometheus), /debug/pprof. The X-Simserved-Tier response
+// header reports which tier answered.
+//
+// -warm pre-fits pairs before the listener opens, so their whole ω(n)
+// curve serves from the fast path immediately. -journal persists every
+// simulation result as NDJSON (the experiments resume-journal format):
+// on restart the journal replays into the cache and warm-up costs
+// nothing. Ctrl-C / SIGTERM drains in-flight requests and exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+func main() {
+	var common cli.Common
+	var (
+		addr        = flag.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free port)")
+		queue       = flag.Int("queue", server.DefaultMaxQueue, "max simulation-tier requests admitted at once (queued + running); excess gets 429")
+		warm        = flag.String("warm", "", "comma-separated MACHINE/PROGRAM.CLASS pairs to fit before serving, e.g. IntelUMA8/CG.C,AMDNUMA48/SP.C")
+		journal     = flag.String("journal", "", "NDJSON result journal: every simulation is appended and replayed on restart, so fits re-warm from disk")
+		minR2       = flag.Float64("min-r2", model.DefaultMinR2, "minimum 1/C(n) regression R-squared for the analytical tier to answer")
+		maxResidual = flag.Float64("max-residual", model.DefaultMaxResidual, "maximum relative error of a fit over its own anchors before it declines")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
+	)
+	common.RegisterScale()
+	common.RegisterJobs()
+	common.RegisterVerbose()
+	common.RegisterTelemetry()
+	flag.Parse()
+
+	ctx, stopSignals := cli.SignalContext(context.Background())
+	defer stopSignals()
+
+	// The journal rides the shared -resume plumbing: replay on attach,
+	// append per completed simulation, identical NDJSON format.
+	common.Resume = *journal
+	r, cleanup, err := common.NewRunner()
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+
+	metrics := r.Metrics
+	if metrics == nil {
+		metrics = telemetry.NewRegistry()
+		r.Metrics = metrics
+	}
+	pred := model.New(r)
+	pred.MinR2 = *minR2
+	pred.MaxResidual = *maxResidual
+	pred.Tracer = r.Tracer
+	pred.Metrics = metrics
+
+	if err := warmPairs(ctx, pred, *warm); err != nil {
+		cleanup()
+		fatal(err)
+	}
+
+	srv := server.New(server.Config{
+		Predictor: pred,
+		MaxQueue:  *queue,
+		Metrics:   metrics,
+		Tracer:    r.Tracer,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cleanup()
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "simserved listening on %s (scale %g, queue %d, %d fits warm)\n",
+		ln.Addr(), pred.Scale(), *queue, pred.FitCount())
+
+	select {
+	case err := <-done:
+		cleanup()
+		fatal(err)
+	case <-ctx.Done():
+	}
+	// Signal received: stop accepting, drain in-flight requests, then
+	// flush the journal via cleanup. In-flight simulations whose clients
+	// are still connected get the drain window to finish.
+	fmt.Fprintf(os.Stderr, "simserved: shutting down (drain %s)\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "simserved: drain incomplete: %v\n", err)
+	}
+}
+
+// warmPairs parses -warm ("MACHINE/PROGRAM.CLASS,...") and fits each pair.
+func warmPairs(ctx context.Context, pred *model.Predictor, list string) error {
+	if list == "" {
+		return nil
+	}
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		mach, prog, class, err := parsePair(item)
+		if err != nil {
+			return err
+		}
+		spec, err := machine.ByName(mach)
+		if err != nil {
+			return err
+		}
+		info, err := pred.Warm(ctx, spec, prog, workload.Class(class))
+		if err != nil {
+			return fmt.Errorf("warm %s: %w", item, err)
+		}
+		fmt.Fprintf(os.Stderr, "simserved: warmed %s: anchors=%v r2=%.3f residual=%.3f saturation=%.1f cores\n",
+			item, info.Anchors, info.R2, info.Residual, info.SaturationCores)
+	}
+	return nil
+}
+
+// parsePair splits "MACHINE/PROGRAM.CLASS".
+func parsePair(item string) (mach, prog, class string, err error) {
+	slash := strings.IndexByte(item, '/')
+	dot := strings.LastIndexByte(item, '.')
+	if slash < 1 || dot <= slash+1 || dot == len(item)-1 {
+		return "", "", "", errors.New("simserved: -warm items must look like MACHINE/PROGRAM.CLASS, e.g. IntelUMA8/CG.C")
+	}
+	return item[:slash], item[slash+1 : dot], item[dot+1:], nil
+}
+
+func fatal(err error) {
+	cli.Fatal("simserved", err)
+}

@@ -12,8 +12,9 @@
 //     examples and _test.go files: a library that needs a context must be
 //     handed one by its caller
 //   - an exported function in the API packages (internal/experiments,
-//     internal/sim, internal/cli) that does work — calls something taking
-//     a context — must itself take a context and forward it
+//     internal/sim, internal/cli, internal/model, internal/server) that
+//     does work — calls something taking a context — must itself take a
+//     context and forward it
 //   - storing a context.Context in a struct field hides the caller's
 //     cancellation scope and is flagged
 //
@@ -38,7 +39,7 @@ const Name = "ctxfirst"
 // DefaultAPIPackages are the packages whose exported surface must be
 // context-first; Background/TODO and ctx-position checks apply to every
 // non-main library package.
-const DefaultAPIPackages = `(^|/)internal/(experiments|sim|cli)($|/)`
+const DefaultAPIPackages = `(^|/)internal/(experiments|sim|cli|model|server)($|/)`
 
 var Analyzer = &analysis.Analyzer{
 	Name: Name,

@@ -439,6 +439,26 @@ func (r *Runner) RunAll(ctx context.Context, items []RunItem) ([]sim.Result, err
 	return results, nil
 }
 
+// KeyFor returns the cache key this runner uses for one simulation: the
+// (machine, program, class, cores) coordinate plus the runner's workload
+// scale. It is the content address of a run — the persistent cache, the
+// resume journal and the serving layer's config hashes all key on it.
+func (r *Runner) KeyFor(spec machine.Spec, program string, class workload.Class, cores int) RunKey {
+	return RunKey{Machine: spec.Name, Program: program, Class: class, Cores: cores, Scale: r.Tuning.RefScale}
+}
+
+// Cached returns the cached result for key, if any, without triggering a
+// simulation. It observes completed runs only — an in-flight simulation
+// for the key reports false until it finishes. The analytical tier
+// (internal/model) uses it to fit from anchor points that are already
+// paid for without ever scheduling new work.
+func (r *Runner) Cached(key RunKey) (sim.Result, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.cache[key]
+	return res, ok
+}
+
 // Measure converts a run into a model measurement.
 func (r *Runner) Measure(ctx context.Context, spec machine.Spec, program string, class workload.Class, cores int) (core.Measurement, error) {
 	res, err := r.Run(ctx, spec, program, class, cores)

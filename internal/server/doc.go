@@ -1,0 +1,37 @@
+// Package server implements the HTTP/JSON serving layer of cmd/simserved:
+// contention-as-a-service over the tiered backend of internal/model.
+//
+// The handler surface (documented operator-first in docs/SERVER.md):
+//
+//	POST /v1/predict   one contention query → ω(n), per-MC utilization,
+//	                   predicted makespan; X-Simserved-Tier names the
+//	                   backend that answered (analytical | simulation)
+//	GET  /v1/catalog   the machines, programs and classes this instance
+//	                   can answer for, plus its workload scale
+//	GET  /healthz      liveness + fit/cache occupancy
+//	GET  /metrics      Prometheus text exposition of the request,
+//	                   admission-queue and backend metrics
+//	/debug/pprof/*     the standard pprof handlers
+//
+// # Admission and backpressure
+//
+// Analytical-tier answers cost microseconds and are never queued: every
+// request first tries the closed form. Only queries that must simulate
+// enter the bounded admission queue (Config.MaxQueue tokens covering
+// queued plus running simulation requests). When the queue is full the
+// server sheds load immediately — 429 with Retry-After — rather than
+// stacking goroutines behind a pool that is minutes deep; the client can
+// retry, and by then the singleflight cache often answers for free.
+// Queue depth is exported live (simserved_queue_depth) next to per-tier
+// latency histograms, so saturation is visible before it pages anyone.
+//
+// # Concurrency contract
+//
+// A Server is safe for any number of concurrent requests: handlers are
+// stateless, admission is a buffered-channel semaphore, the predictor
+// serializes only its fit-table writes, and all counters are
+// telemetry.Registry atomics. Request cancellation is context-first end
+// to end: a client disconnect propagates through the predictor into the
+// runner and the simulator's own event loop, freeing the admission token
+// and the worker slot within a bounded number of simulated events.
+package server

@@ -1,0 +1,400 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// DefaultMaxQueue bounds simulation-tier admission when Config.MaxQueue
+// is zero: enough to keep a worker pool busy with headroom, small enough
+// that shed load gets a 429 in microseconds instead of a timeout in
+// minutes.
+const DefaultMaxQueue = 64
+
+// StatusClientClosedRequest is reported when the client vanished before
+// its simulation finished (nginx's 499 convention; Go has no name for it).
+const StatusClientClosedRequest = 499
+
+// Config wires a Server. Predictor is required; everything else has
+// serviceable defaults.
+type Config struct {
+	// Predictor is the tiered backend answering queries.
+	Predictor *model.Predictor
+	// MaxQueue bounds simulation-tier admission (queued + running).
+	// Zero means DefaultMaxQueue.
+	MaxQueue int
+	// Metrics receives request/queue/tier metrics and is served at
+	// /metrics. Nil creates a private registry (still served).
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives one server.request event per
+	// answered query plus server.rejected / server.error events.
+	Tracer *telemetry.Tracer
+}
+
+// Server is the HTTP serving layer. Build with New, mount Handler.
+type Server struct {
+	pred    *model.Predictor
+	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
+	// admission is the simulation-tier token bucket: a request holds one
+	// token from admission decision to response write. Channel capacity
+	// is the queue bound; len() is the exported depth.
+	admission chan struct{}
+}
+
+// New returns a Server over the given backend.
+func New(cfg Config) *Server {
+	if cfg.Predictor == nil {
+		panic("server: Config.Predictor is required")
+	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Server{
+		pred:      cfg.Predictor,
+		metrics:   reg,
+		tracer:    cfg.Tracer,
+		admission: make(chan struct{}, maxQueue),
+	}
+}
+
+// Handler returns the server's routing table on a private mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/catalog", s.handleCatalog)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// predictRequest is the POST /v1/predict body. Unknown fields are
+// rejected so typos ("core" for "cores") fail loudly instead of being
+// silently defaulted.
+type predictRequest struct {
+	// Machine is a preset name (GET /v1/catalog lists them).
+	Machine string `json:"machine"`
+	// Program and Class select the workload.
+	Program string `json:"program"`
+	Class   string `json:"class"`
+	// Cores is the number of active cores n; 0 means the whole machine.
+	Cores int `json:"cores"`
+	// Scale, when non-zero, must match the server's workload scale —
+	// fidelity is an instance property, not a per-request knob (see
+	// docs/SERVER.md, "One scale per instance").
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// predictResponse is the POST /v1/predict success body.
+type predictResponse struct {
+	Machine        string    `json:"machine"`
+	Program        string    `json:"program"`
+	Class          string    `json:"class"`
+	Cores          int       `json:"cores"`
+	Scale          float64   `json:"scale"`
+	Omega          float64   `json:"omega"`
+	Cycles         float64   `json:"cycles"`
+	BaselineCycles float64   `json:"baseline_cycles"`
+	MakespanCycles float64   `json:"makespan_cycles"`
+	MCUtilization  []float64 `json:"mc_utilization"`
+	Tier           string    `json:"tier"`
+	ConfigHash     string    `json:"config_hash"`
+	Fit            *fitJSON  `json:"fit,omitempty"`
+}
+
+// fitJSON is the fit summary attached to analytical-tier answers.
+type fitJSON struct {
+	Anchors         []int   `json:"anchors"`
+	R2              float64 `json:"r2"`
+	Residual        float64 `json:"residual"`
+	SaturationCores float64 `json:"saturation_cores"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds the predict request body; the schema is five
+// scalars, so anything past a few KB is a client bug.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req predictRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	spec, err := machine.ByName(req.Machine)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := validateWorkload(req.Program, req.Class); err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Scale != 0 && req.Scale != s.pred.Scale() {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf(
+			"this instance simulates at scale %g, not %g; run one simserved per fidelity (see docs/SERVER.md)",
+			s.pred.Scale(), req.Scale))
+		return
+	}
+	cores := req.Cores
+	if cores == 0 {
+		cores = spec.TotalCores()
+	}
+	if cores < 1 || cores > spec.TotalCores() {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf(
+			"cores %d out of range for %s (1..%d)", cores, spec.Name, spec.TotalCores()))
+		return
+	}
+	class := workload.Class(req.Class)
+	s.metrics.Counter("simserved_requests_total").Inc()
+
+	// Fast path first: microseconds, no admission, no queueing.
+	start := time.Now()
+	if pred, reason := s.pred.Analytical(spec, req.Program, class, cores); reason == "" {
+		s.respond(w, pred, time.Since(start))
+		return
+	} else if !s.admit(w, spec, req.Program, class, cores, reason) {
+		return
+	}
+	defer s.release()
+
+	pred, err := s.pred.Predict(r.Context(), spec, req.Program, class, cores)
+	switch {
+	case err == nil:
+		s.respond(w, pred, time.Since(start))
+	case errors.Is(err, sim.ErrCanceled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.metrics.Counter("simserved_canceled_total").Inc()
+		s.fail(w, StatusClientClosedRequest, "request canceled before the simulation finished")
+	case errors.Is(err, model.ErrBadCores):
+		s.fail(w, http.StatusBadRequest, err.Error())
+	default:
+		s.metrics.Counter("simserved_errors_total").Inc()
+		if s.tracer.Enabled() {
+			s.tracer.Emit("server.error", "machine", spec.Name, "program", req.Program,
+				"class", req.Class, "cores", cores, "error", err.Error())
+		}
+		s.fail(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// admit takes one simulation-tier admission token, or sheds the request
+// with 429 + Retry-After and reports false. The queue-depth gauge tracks
+// tokens in use.
+func (s *Server) admit(w http.ResponseWriter, spec machine.Spec, program string, class workload.Class, cores int, reason model.DeclineReason) bool {
+	select {
+	case s.admission <- struct{}{}:
+		s.metrics.Gauge("simserved_queue_depth").Set(float64(len(s.admission)))
+		return true
+	default:
+		s.metrics.Counter("simserved_rejected_total").Inc()
+		if s.tracer.Enabled() {
+			s.tracer.Emit("server.rejected", "machine", spec.Name, "program", program,
+				"class", string(class), "cores", cores, "decline", string(reason),
+				"queue", cap(s.admission))
+		}
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, fmt.Sprintf(
+			"simulation admission queue full (%d in flight); the analytical tier declined (%s) — retry shortly or warm this pair",
+			cap(s.admission), reason))
+		return false
+	}
+}
+
+// release returns one admission token.
+func (s *Server) release() {
+	<-s.admission
+	s.metrics.Gauge("simserved_queue_depth").Set(float64(len(s.admission)))
+}
+
+// respond writes one successful prediction with the tier headers and
+// records the per-tier latency metrics and the request trace event.
+func (s *Server) respond(w http.ResponseWriter, pred model.Prediction, elapsed time.Duration) {
+	ms := float64(elapsed.Microseconds()) / 1000
+	switch pred.Tier {
+	case model.TierAnalytical:
+		s.metrics.Counter("simserved_analytical_total").Inc()
+		s.metrics.Histogram("simserved_analytical_ms", 0.01, 0.1, 1, 10, 100).Observe(ms)
+	case model.TierSimulation:
+		s.metrics.Counter("simserved_simulation_total").Inc()
+		s.metrics.Histogram("simserved_simulate_ms", 10, 100, 1000, 10000, 100000).Observe(ms)
+	}
+	s.metrics.Histogram("simserved_predict_ms", 0.01, 0.1, 1, 10, 100, 1000, 10000, 100000).Observe(ms)
+	if s.tracer.Enabled() {
+		s.tracer.Emit("server.request",
+			"machine", pred.Machine, "program", pred.Program, "class", string(pred.Class),
+			"cores", pred.Cores, "tier", string(pred.Tier), "omega", pred.Omega,
+			"elapsed_ms", ms)
+	}
+	resp := predictResponse{
+		Machine:        pred.Machine,
+		Program:        pred.Program,
+		Class:          string(pred.Class),
+		Cores:          pred.Cores,
+		Scale:          pred.Scale,
+		Omega:          pred.Omega,
+		Cycles:         pred.Cycles,
+		BaselineCycles: pred.BaselineCycles,
+		MakespanCycles: pred.MakespanCycles,
+		MCUtilization:  pred.MCUtilization,
+		Tier:           string(pred.Tier),
+		ConfigHash:     pred.ConfigHash,
+	}
+	if pred.Fit != nil {
+		resp.Fit = &fitJSON{
+			Anchors:         pred.Fit.Anchors,
+			R2:              pred.Fit.R2,
+			Residual:        pred.Fit.Residual,
+			SaturationCores: pred.Fit.SaturationCores,
+		}
+	}
+	w.Header().Set("X-Simserved-Tier", string(pred.Tier))
+	w.Header().Set("X-Simserved-Config-Hash", pred.ConfigHash)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// validateWorkload checks program and class against the registry without
+// constructing the (potentially large) workload.
+func validateWorkload(program, class string) error {
+	found := false
+	for _, name := range workload.Names() {
+		if name == program {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown program %q (have %v)", program, workload.Names())
+	}
+	for _, cl := range workload.ClassesFor(program) {
+		if string(cl) == class {
+			return nil
+		}
+	}
+	return fmt.Errorf("program %s has no class %q (have %v)", program, class, workload.ClassesFor(program))
+}
+
+// catalogMachine is one machine entry of GET /v1/catalog.
+type catalogMachine struct {
+	Name           string `json:"name"`
+	Kind           string `json:"kind"`
+	Sockets        int    `json:"sockets"`
+	CoresPerSocket int    `json:"cores_per_socket"`
+	TotalCores     int    `json:"total_cores"`
+}
+
+// catalogProgram is one workload entry of GET /v1/catalog.
+type catalogProgram struct {
+	Name        string   `json:"name"`
+	Classes     []string `json:"classes"`
+	Description string   `json:"description"`
+}
+
+// catalogResponse is the GET /v1/catalog body.
+type catalogResponse struct {
+	Scale    float64          `json:"scale"`
+	Machines []catalogMachine `json:"machines"`
+	Programs []catalogProgram `json:"programs"`
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := catalogResponse{Scale: s.pred.Scale()}
+	for _, spec := range machine.All() {
+		kind := "NUMA"
+		if spec.UMA() {
+			kind = "UMA"
+		}
+		resp.Machines = append(resp.Machines, catalogMachine{
+			Name:           spec.Name,
+			Kind:           kind,
+			Sockets:        spec.Sockets,
+			CoresPerSocket: spec.CoresPerSocket,
+			TotalCores:     spec.TotalCores(),
+		})
+	}
+	for _, name := range workload.Names() {
+		classes := workload.ClassesFor(name)
+		cp := catalogProgram{Name: name, Description: workload.Describe(name)}
+		for _, cl := range classes {
+			cp.Classes = append(cp.Classes, string(cl))
+		}
+		resp.Programs = append(resp.Programs, cp)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// healthzResponse is the GET /healthz body.
+type healthzResponse struct {
+	Status     string  `json:"status"`
+	Scale      float64 `json:"scale"`
+	Fits       int     `json:"fits"`
+	CachedRuns int     `json:"cached_runs"`
+	QueueDepth int     `json:"queue_depth"`
+	QueueCap   int     `json:"queue_cap"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, healthzResponse{
+		Status:     "ok",
+		Scale:      s.pred.Scale(),
+		Fits:       s.pred.FitCount(),
+		CachedRuns: s.pred.CachedRuns(),
+		QueueDepth: len(s.admission),
+		QueueCap:   cap(s.admission),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.metrics.WritePrometheus(w)
+}
+
+// fail writes one JSON error body with the given status.
+func (s *Server) fail(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// writeJSON writes any body as JSON with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// newTestServer builds a predictor over a fresh runner at the given scale
+// and mounts the handler. Confidence checks are disabled so any stored
+// fit serves analytically.
+func newTestServer(t testing.TB, scale float64, maxQueue int) (*Server, *model.Predictor) {
+	t.Helper()
+	r := experiments.NewRunner(workload.Tuning{RefScale: scale})
+	p := model.New(r)
+	p.MinR2 = -1
+	p.MaxResidual = 1e9
+	return New(Config{Predictor: p, MaxQueue: maxQueue, Metrics: telemetry.NewRegistry()}), p
+}
+
+// postPredict round-trips one predict request through the handler.
+func postPredict(t testing.TB, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decodePredict(t *testing.T, w *httptest.ResponseRecorder) predictResponse {
+	t.Helper()
+	var resp predictResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response body %q: %v", w.Body.String(), err)
+	}
+	return resp
+}
+
+// TestPredictAnalyticalHit warms one pair and checks a non-anchor query
+// is answered from the fast path with the tier header and fit summary.
+func TestPredictAnalyticalHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warms by simulation")
+	}
+	s, p := newTestServer(t, 0.05, 0)
+	spec, _ := machine.ByName("IntelUMA8")
+	if _, err := p.Warm(context.Background(), spec, "CG", "W"); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	w := postPredict(t, h, `{"machine":"IntelUMA8","program":"CG","class":"W","cores":3}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Simserved-Tier"); got != "analytical" {
+		t.Errorf("X-Simserved-Tier = %q, want analytical", got)
+	}
+	resp := decodePredict(t, w)
+	if resp.Tier != "analytical" || resp.Fit == nil {
+		t.Errorf("body tier=%q fit=%v, want analytical with fit", resp.Tier, resp.Fit)
+	}
+	if len(resp.ConfigHash) != 64 {
+		t.Errorf("config_hash %q is not a SHA-256 hex", resp.ConfigHash)
+	}
+	if got := w.Header().Get("X-Simserved-Config-Hash"); got != resp.ConfigHash {
+		t.Errorf("header hash %q != body hash %q", got, resp.ConfigHash)
+	}
+	if resp.Omega < 0 {
+		t.Errorf("omega = %g, want >= 0", resp.Omega)
+	}
+
+	// cores omitted means the whole machine.
+	w = postPredict(t, h, `{"machine":"IntelUMA8","program":"CG","class":"W"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("default-cores status %d: %s", w.Code, w.Body.String())
+	}
+	if resp := decodePredict(t, w); resp.Cores != spec.TotalCores() {
+		t.Errorf("default cores = %d, want %d", resp.Cores, spec.TotalCores())
+	}
+}
+
+// TestPredictSimulationFallback checks a cold pair falls through to the
+// simulation tier and reports it in header and body.
+func TestPredictSimulationFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	s, _ := newTestServer(t, 0.05, 0)
+	w := postPredict(t, s.Handler(), `{"machine":"IntelUMA8","program":"EP","class":"W","cores":2}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Simserved-Tier"); got != "simulation" {
+		t.Errorf("X-Simserved-Tier = %q, want simulation", got)
+	}
+	resp := decodePredict(t, w)
+	if resp.Tier != "simulation" || resp.Fit != nil {
+		t.Errorf("body tier=%q fit=%v, want simulation without fit", resp.Tier, resp.Fit)
+	}
+	if resp.MakespanCycles <= 0 || resp.Cycles <= 0 {
+		t.Errorf("non-positive measurements: cycles=%g makespan=%g", resp.Cycles, resp.MakespanCycles)
+	}
+}
+
+// TestPredictValidation drives every 4xx path of the predict handler.
+func TestPredictValidation(t *testing.T) {
+	s, _ := newTestServer(t, 0.05, 0)
+	h := s.Handler()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+		frag string
+	}{
+		{"bad json", `{`, http.StatusBadRequest, "invalid request body"},
+		{"unknown field", `{"machine":"IntelUMA8","program":"CG","class":"W","core":3}`, http.StatusBadRequest, "unknown field"},
+		{"unknown machine", `{"machine":"Cray1","program":"CG","class":"W"}`, http.StatusBadRequest, "Cray1"},
+		{"unknown program", `{"machine":"IntelUMA8","program":"LU","class":"W"}`, http.StatusBadRequest, "unknown program"},
+		{"unknown class", `{"machine":"IntelUMA8","program":"CG","class":"Z"}`, http.StatusBadRequest, "no class"},
+		{"cores too high", `{"machine":"IntelUMA8","program":"CG","class":"W","cores":99}`, http.StatusBadRequest, "out of range"},
+		{"cores negative", `{"machine":"IntelUMA8","program":"CG","class":"W","cores":-1}`, http.StatusBadRequest, "out of range"},
+		{"scale mismatch", `{"machine":"IntelUMA8","program":"CG","class":"W","cores":2,"scale":0.5}`, http.StatusBadRequest, "scale"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postPredict(t, h, tc.body)
+			if w.Code != tc.want {
+				t.Fatalf("status %d, want %d: %s", w.Code, tc.want, w.Body.String())
+			}
+			var e errorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+				t.Fatalf("error body is not JSON: %q", w.Body.String())
+			}
+			if !strings.Contains(e.Error, tc.frag) {
+				t.Errorf("error %q does not mention %q", e.Error, tc.frag)
+			}
+		})
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/predict", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d, want 405", w.Code)
+	}
+	if got := w.Header().Get("Allow"); got != http.MethodPost {
+		t.Errorf("Allow = %q, want POST", got)
+	}
+}
+
+// TestPredictCanceled checks a client that is already gone gets the 499
+// without the server burning a simulation.
+func TestPredictCanceled(t *testing.T) {
+	s, _ := newTestServer(t, 0.05, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict",
+		strings.NewReader(`{"machine":"IntelUMA8","program":"CG","class":"W","cores":2}`)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != StatusClientClosedRequest {
+		t.Fatalf("status %d, want %d: %s", w.Code, StatusClientClosedRequest, w.Body.String())
+	}
+}
+
+// TestAdmissionFull fills the simulation-tier admission queue and checks
+// the next cold request is shed with 429 + Retry-After instead of queuing.
+func TestAdmissionFull(t *testing.T) {
+	s, _ := newTestServer(t, 0.05, 1)
+	s.admission <- struct{}{} // occupy the only token
+
+	w := postPredict(t, s.Handler(), `{"machine":"IntelUMA8","program":"CG","class":"W","cores":2}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var e errorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body is not JSON: %q", w.Body.String())
+	}
+	if !strings.Contains(e.Error, "no_fit") {
+		t.Errorf("shed response %q does not carry the decline reason", e.Error)
+	}
+
+	<-s.admission
+	if len(s.admission) != 0 {
+		t.Fatalf("admission queue not drained: %d", len(s.admission))
+	}
+}
+
+// TestCatalogAndHealthz checks the two GET surfaces.
+func TestCatalogAndHealthz(t *testing.T) {
+	s, _ := newTestServer(t, 0.05, 0)
+	h := s.Handler()
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/catalog", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("catalog status %d", w.Code)
+	}
+	var cat catalogResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &cat); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Scale != 0.05 || len(cat.Machines) == 0 || len(cat.Programs) == 0 {
+		t.Errorf("catalog scale=%g machines=%d programs=%d", cat.Scale, len(cat.Machines), len(cat.Programs))
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/catalog", nil))
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST catalog status %d, want 405", w.Code)
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", w.Code)
+	}
+	var hz healthzResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.QueueCap != DefaultMaxQueue {
+		t.Errorf("healthz = %+v", hz)
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+}
+
+// TestConcurrentClients hammers the handler from many goroutines mixing
+// analytical hits, catalog reads and health checks; run under -race this
+// is the server's data-race certificate.
+func TestConcurrentClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warms by simulation")
+	}
+	s, p := newTestServer(t, 0.05, 4)
+	spec, _ := machine.ByName("IntelUMA8")
+	if _, err := p.Warm(context.Background(), spec, "CG", "W"); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				switch j % 3 {
+				case 0:
+					body := fmt.Sprintf(`{"machine":"IntelUMA8","program":"CG","class":"W","cores":%d}`, 1+(i+j)%spec.TotalCores())
+					w := postPredict(t, h, body)
+					if w.Code != http.StatusOK {
+						errs <- fmt.Errorf("predict status %d: %s", w.Code, w.Body.String())
+						return
+					}
+				case 1:
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+					if w.Code != http.StatusOK {
+						errs <- fmt.Errorf("healthz status %d", w.Code)
+						return
+					}
+				default:
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+					if w.Code != http.StatusOK {
+						errs <- fmt.Errorf("metrics status %d", w.Code)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

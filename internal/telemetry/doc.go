@@ -1,0 +1,52 @@
+// Package telemetry is the simulator's observability layer: a metrics
+// registry (counters, gauges, windowed histograms) with Prometheus-text
+// and expvar export, simulated-time series for the in-run sampler, and a
+// structured NDJSON run tracer built on log/slog.
+//
+// The package is deliberately independent of the simulator packages so it
+// can sit below all of them: internal/sim drives the sampler from its
+// event loop, internal/experiments traces runner spans, internal/model
+// and internal/server count fits, declines and requests, and the CLIs
+// export snapshots. Everything here obeys two contracts:
+//
+//   - Zero cost when off. Every integration point is behind a nil check
+//     (a nil *Tracer, a nil *Registry, a nil sampling config), so a run
+//     with telemetry disabled executes the exact pre-telemetry hot path.
+//     The sim package pins this with allocation tests.
+//
+//   - Deterministic output. Metric exposition is sorted by name and the
+//     tracer suppresses wall-clock timestamps by default, so identical
+//     simulations produce byte-identical artifacts — which lets the
+//     golden tests pin telemetry output exactly like any other artifact.
+//
+// # Registry concurrency contract
+//
+// A Registry and every instrument it hands out are safe for concurrent
+// use by any number of goroutines:
+//
+//   - Counters and gauges are single atomic words; Inc/Add/Set/Value
+//     never take a lock and never allocate after the instrument exists.
+//
+//   - Instrument lookup (Counter/Gauge/Histogram by name) is a
+//     mutex-guarded map access returning a stable pointer: the first call
+//     for a name creates the instrument, every later call — from any
+//     goroutine — returns the same one. Callers on hot paths should look
+//     up once and hold the pointer.
+//
+//   - Histograms serialize Observe under a per-instrument mutex; bounds
+//     are fixed at creation, so observation never resizes anything.
+//
+//   - WritePrometheus takes a point-in-time snapshot under the registry
+//     lock and writes families sorted by name; concurrent updates during
+//     a scrape are each either fully included or fully excluded.
+//
+// # Tracer concurrency contract
+//
+// A *Tracer is nil-safe — Enabled() on a nil receiver reports false, so
+// call sites guard a whole Emit with one branch and pay nothing when
+// tracing is off. A non-nil Tracer serializes writes through its slog
+// handler: concurrent Emits interleave as whole NDJSON lines, never as
+// partial records. Event names are compile-time literals in the
+// registered namespaces (enforced by the tracelint analyzer), so the
+// trace surface stays greppable and golden-testable.
+package telemetry

@@ -1,22 +1,3 @@
-// Package telemetry is the simulator's observability layer: a metrics
-// registry (counters, gauges, windowed histograms) with Prometheus-text
-// and expvar export, simulated-time series for the in-run sampler, and a
-// structured NDJSON run tracer built on log/slog.
-//
-// The package is deliberately independent of the simulator packages so it
-// can sit below all of them: internal/sim drives the sampler from its
-// event loop, internal/experiments traces runner spans, and the CLIs
-// export snapshots. Everything here obeys two contracts:
-//
-//   - Zero cost when off. Every integration point is behind a nil check
-//     (a nil *Tracer, a nil *Registry, a nil sampling config), so a run
-//     with telemetry disabled executes the exact pre-telemetry hot path.
-//     The sim package pins this with allocation tests.
-//
-//   - Deterministic output. Metric exposition is sorted by name and the
-//     tracer suppresses wall-clock timestamps by default, so identical
-//     simulations produce byte-identical artifacts — which lets the
-//     golden tests pin telemetry output exactly like any other artifact.
 package telemetry
 
 import (
