@@ -8,7 +8,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check build vet lint lint-extra test short race bench microbench artifacts-fast serve serve-smoke docs-check clean
+.PHONY: check build vet lint lint-extra test short race bench microbench artifacts-fast serve serve-smoke load-smoke docs-check clean
 
 ## check: the tier-1 gate — vet, lint (simcheck), build, race-enabled tests.
 check: vet lint build race
@@ -84,6 +84,13 @@ serve:
 ## latency bound, graceful shutdown. CI runs this in the serve job.
 serve-smoke:
 	scripts/serve_smoke.sh
+
+## load-smoke: boot simserved and validate it under open-loop load with
+## cmd/loadgen — sustained RPS, achieved CV² vs configured, an analytical
+## p99 bound and the M/M/1 latency-vs-load fit. CI runs this in the load
+## job; docs/LOADGEN.md explains how to read the report.
+load-smoke:
+	scripts/load_smoke.sh
 
 ## docs-check: grep fenced sh blocks in README/EXPERIMENTS/docs for
 ## commands, flags and make targets that no longer exist, so the docs

@@ -1,0 +1,312 @@
+// Command loadgen drives a simserved instance with open-loop load and
+// validates what it observes against the paper's own queueing assumptions:
+// the achieved arrival stream is characterized with the simulator's
+// CV²/index-of-dispersion machinery, and per-tier latency is fitted
+// against the M/M/1 response-time curve T = 1/(μ−λ). docs/LOADGEN.md is
+// the user guide.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -mode poisson -rps 100 -duration 30s -out run.ndjson
+//	loadgen -self -warm -mode burst -rps 50 -burst 8 -duration 20s
+//
+// The generator is open-loop: requests fire at their scheduled offsets no
+// matter how many are in flight, so a saturated server faces the full
+// offered load (the regime where the 429 admission path matters) instead
+// of silently throttling the experiment. Schedules are seeded: the same
+// -seed reproduces the same arrival offsets byte-for-byte.
+//
+// -self boots an in-process simserved over -scale instead of targeting
+// -url, so one command gives a self-contained experiment; -warm pre-fits
+// the target pair so the analytical tier answers.
+//
+// The -assert-* flags turn the end-of-run report into a test: any
+// violated bound prints and exits 1. CI's load-smoke job is four loadgen
+// invocations and nothing else.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/experiments"
+	"repro/internal/load"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+func main() {
+	var common cli.Common
+	var (
+		url      = flag.String("url", "", "target base URL, e.g. http://localhost:8080 (mutually exclusive with -self)")
+		self     = flag.Bool("self", false, "boot an in-process simserved at -scale and drive it")
+		warm     = flag.Bool("warm", false, "with -self: pre-fit machine/program.class so the analytical tier answers")
+		queue    = flag.Int("queue", server.DefaultMaxQueue, "with -self: simulation-tier admission bound")
+		mode     = flag.String("mode", "poisson", "arrival process: const, poisson or burst")
+		rps      = flag.Float64("rps", 10, "mean offered load in requests per second")
+		burst    = flag.Float64("burst", 8, "burst factor for -mode burst: hi/lo rate ratio of the MMPP phases")
+		phase    = flag.Duration("phase", 0, "mean MMPP phase length for -mode burst (0 = duration/8)")
+		duration = flag.Duration("duration", 10*time.Second, "schedule horizon")
+		conns    = flag.Int("conns", 16, "keep-alive connection pool size")
+		cores    = flag.Int("cores", 2, "cores field of the predict body (0 = whole machine)")
+		tenant   = flag.String("tenant", "", "X-Simserved-Tenant header value")
+		window   = flag.Duration("window", time.Second, "binning window for arrival characterization and the M/M/1 fit")
+		out      = flag.String("out", "", "write the per-request NDJSON log here ('-' = stdout)")
+
+		expectTier   = flag.String("expect-tier", "", "assert >= 90% of 2xx responses were served by this tier")
+		assertP99    = flag.Duration("assert-p99", 0, "assert the expected tier's p99 latency is below this (0 = off)")
+		assertCV2    = flag.Float64("assert-cv2-tol", 0, "assert |achieved − configured| CV² is within this tolerance (0 = off)")
+		assertFit    = flag.Float64("assert-fit-err", 0, "assert the expected tier's mean M/M/1 fit error is below this fraction (0 = off)")
+		assertRPSTol = flag.Float64("assert-rps-tol", 0, "assert achieved RPS is within this fraction of offered (0 = off)")
+	)
+	common.RegisterMachine("IntelUMA8")
+	common.RegisterWorkload("CG", "W")
+	common.RegisterScale()
+	common.RegisterJobs()
+	common.RegisterSeed()
+	common.RegisterTrace()
+	flag.Parse()
+
+	if (*url == "") == !*self {
+		fatal(errors.New("exactly one of -url or -self is required"))
+	}
+
+	m, err := load.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := common.Spec()
+	if err != nil {
+		fatal(err)
+	}
+	if *cores < 0 || *cores > spec.TotalCores() {
+		fatal(fmt.Errorf("cores %d out of range for %s (0..%d)", *cores, spec.Name, spec.TotalCores()))
+	}
+	body, err := json.Marshal(map[string]any{
+		"machine": spec.Name,
+		"program": common.Program,
+		"class":   common.Class,
+		"cores":   *cores,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stopSignals := cli.SignalContext(context.Background())
+	defer stopSignals()
+
+	tracer, closeTracer, err := common.OpenTracer()
+	if err != nil {
+		fatal(err)
+	}
+	defer closeTracer()
+
+	base := *url
+	if *self {
+		shutdown, addr, err := selfServe(ctx, &common, tracer, *queue, *warm)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		base = "http://" + addr
+		fmt.Fprintf(os.Stderr, "loadgen: self-serving on %s (scale %g)\n", base, common.Scale)
+	}
+
+	sched, err := load.Schedule(load.ScheduleConfig{
+		Mode: m, RPS: *rps, Duration: *duration, Seed: common.Seed,
+		Burst: *burst, Phase: *phase,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	schedCV2, _ := load.ScheduleCV2(sched)
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests over %s (%s at %g rps, CV² %.3f, seed %d) -> %s\n",
+		len(sched), *duration, m, *rps, schedCV2, common.Seed, base)
+
+	records, runErr := load.Run(ctx, load.Config{
+		BaseURL:  base,
+		Body:     body,
+		Schedule: sched,
+		Tenant:   *tenant,
+		Conns:    *conns,
+		Tracer:   tracer,
+	})
+	if runErr != nil && len(records) == 0 {
+		fatal(runErr)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: run interrupted (%v); analyzing the %d dispatched requests\n", runErr, len(records))
+	}
+
+	if err := writeLog(*out, records); err != nil {
+		fatal(err)
+	}
+
+	rep, err := load.BuildReport(records, load.Options{
+		Window: *window, OfferedRPS: *rps, ScheduleCV2: schedCV2,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rep.WriteText(os.Stderr)
+
+	if fails := check(rep, checks{
+		expectTier: *expectTier,
+		p99:        *assertP99,
+		cv2Tol:     *assertCV2,
+		fitErr:     *assertFit,
+		rpsTol:     *assertRPSTol,
+	}); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "loadgen: ASSERT FAILED: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+// selfServe boots an in-process simserved on a loopback port and returns
+// its shutdown function and address.
+func selfServe(ctx context.Context, common *cli.Common, tracer *telemetry.Tracer, queue int, warm bool) (func(), string, error) {
+	r := experiments.NewRunner(common.Tuning())
+	r.Jobs = common.Jobs
+	r.Tracer = tracer
+	metrics := telemetry.NewRegistry()
+	r.Metrics = metrics
+	pred := model.New(r)
+	pred.Tracer = tracer
+	pred.Metrics = metrics
+
+	if warm {
+		spec, err := machine.ByName(common.Machine)
+		if err != nil {
+			return nil, "", err
+		}
+		info, err := pred.Warm(ctx, spec, common.Program, workload.Class(common.Class))
+		if err != nil {
+			return nil, "", fmt.Errorf("warm %s/%s.%s: %w", common.Machine, common.Program, common.Class, err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: warmed %s/%s.%s: r2=%.3f residual=%.3f\n",
+			common.Machine, common.Program, common.Class, info.R2, info.Residual)
+	}
+
+	srv := server.New(server.Config{Predictor: pred, MaxQueue: queue, Metrics: metrics, Tracer: tracer})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	shutdown := func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}
+	return shutdown, ln.Addr().String(), nil
+}
+
+// writeLog writes the NDJSON request log to path ("" = skip, "-" = stdout).
+func writeLog(path string, records []load.Record) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return load.WriteNDJSON(os.Stdout, records)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := load.WriteNDJSON(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// checks holds the -assert-* bounds; zero values disable each check.
+type checks struct {
+	expectTier string
+	p99        time.Duration
+	cv2Tol     float64
+	fitErr     float64
+	rpsTol     float64
+}
+
+// check evaluates the report against the configured bounds and returns
+// one message per violation.
+func check(rep load.Report, c checks) []string {
+	var fails []string
+
+	if c.expectTier != "" {
+		got := rep.Tiers[c.expectTier].Count
+		if rep.OK == 0 || float64(got) < 0.9*float64(rep.OK) {
+			fails = append(fails, fmt.Sprintf("expected tier %q on >= 90%% of 2xx responses, got %d of %d", c.expectTier, got, rep.OK))
+		}
+	}
+	if c.p99 > 0 {
+		tier, p99 := worstP99(rep, c.expectTier)
+		if p99 <= 0 {
+			fails = append(fails, "p99 bound configured but no successful responses to measure")
+		} else if want := float64(c.p99) / float64(time.Millisecond); p99 > want {
+			fails = append(fails, fmt.Sprintf("tier %q p99 = %.3fms, bound %.3fms", tier, p99, want))
+		}
+	}
+	if c.cv2Tol > 0 {
+		if diff := rep.ArrivalCV2 - rep.ScheduleCV2; diff < -c.cv2Tol || diff > c.cv2Tol {
+			fails = append(fails, fmt.Sprintf("achieved CV² %.3f vs configured %.3f exceeds tolerance %.3f", rep.ArrivalCV2, rep.ScheduleCV2, c.cv2Tol))
+		}
+	}
+	if c.fitErr > 0 {
+		tier := c.expectTier
+		if tier == "" {
+			tier = "analytical"
+		}
+		fit := rep.Tiers[tier].MM1
+		if fit == nil {
+			fails = append(fails, fmt.Sprintf("M/M/1 fit bound configured but tier %q produced no fit (too few windows?)", tier))
+		} else if fit.MeanRelErr > c.fitErr {
+			fails = append(fails, fmt.Sprintf("tier %q M/M/1 mean fit error %.1f%% exceeds %.1f%%", tier, 100*fit.MeanRelErr, 100*c.fitErr))
+		}
+	}
+	if c.rpsTol > 0 && rep.OfferedRPS > 0 {
+		frac := (rep.AchievedRPS - rep.OfferedRPS) / rep.OfferedRPS
+		if frac < -c.rpsTol || frac > c.rpsTol {
+			fails = append(fails, fmt.Sprintf("achieved %.1f rps vs offered %.1f exceeds tolerance %.0f%%", rep.AchievedRPS, rep.OfferedRPS, 100*c.rpsTol))
+		}
+	}
+	return fails
+}
+
+// worstP99 returns the p99 of the named tier, or the worst across tiers
+// when tier is empty.
+func worstP99(rep load.Report, tier string) (string, float64) {
+	if tier != "" {
+		return tier, rep.Tiers[tier].P99Ms
+	}
+	var worst float64
+	var name string
+	for t, ts := range rep.Tiers {
+		if ts.P99Ms > worst {
+			worst, name = ts.P99Ms, t
+		}
+	}
+	return name, worst
+}
+
+func fatal(err error) {
+	cli.Fatal("loadgen", err)
+}

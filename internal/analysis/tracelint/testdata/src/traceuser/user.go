@@ -14,9 +14,10 @@ func Use(t *telemetry.Tracer, r *telemetry.Registry, dyn string) {
 	t.Emit(evRunStart) // named constant: as greppable as a literal
 	t.Emit("server.request", "tier", "analytical")
 	t.Emit("model.fit", "r2", 1.0)
+	t.Emit("load.start", "rps", 100.0)
 	t.Emit(dyn)          // want `event name is computed at run time`
-	t.Emit("Runner.Span") // want `must match \(run\|runner\|sim\|eventq\|server\|model\)`
-	t.Emit("other.event") // want `must match \(run\|runner\|sim\|eventq\|server\|model\)`
+	t.Emit("Runner.Span") // want `must match \(run\|runner\|sim\|eventq\|server\|model\|load\)`
+	t.Emit("other.event") // want `must match \(run\|runner\|sim\|eventq\|server\|model\|load\)`
 
 	r.Counter("runner_sim_total").Inc()
 	r.Counter("runner_sim")       // want `must end in _total`

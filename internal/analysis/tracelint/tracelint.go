@@ -8,9 +8,9 @@
 // time. tracelint checks each call into internal/telemetry:
 //
 //   - Tracer.Emit's event name must be a literal matching
-//     (run|runner|sim|eventq|server|model).lower_snake[.more] — the
+//     (run|runner|sim|eventq|server|model|load).lower_snake[.more] — the
 //     namespaces registered in docs/ARCHITECTURE.md §6 (server and model
-//     belong to the serving layer, §9)
+//     belong to the serving layer, §9; load to the load harness)
 //   - Registry.Counter/Gauge/Histogram names must be literal
 //     lower_snake_case; counters must end in _total (Prometheus
 //     convention, keeps rate() queries honest)
@@ -42,7 +42,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 var (
-	eventRE  = regexp.MustCompile(`^(run|runner|sim|eventq|server|model)\.[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+	eventRE  = regexp.MustCompile(`^(run|runner|sim|eventq|server|model|load)\.[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
 	metricRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
 )
 
@@ -70,7 +70,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			switch obj.Name() {
 			case "Emit":
 				checkName(pass, dir, call.Args[0], "event", eventRE,
-					"must match (run|runner|sim|eventq|server|model).lower_snake — the registered trace namespaces")
+					"must match (run|runner|sim|eventq|server|model|load).lower_snake — the registered trace namespaces")
 			case "Counter":
 				checkName(pass, dir, call.Args[0], "counter", metricRE,
 					"must be lower_snake_case ending in _total")

@@ -4,10 +4,18 @@
 // lines) is plotted as a log-log CCDF, and a long (power-law-like) tail
 // marks bursty traffic while its absence marks the saturated, non-bursty
 // traffic of large problem sizes.
+//
+// The same machinery characterizes any arrival process, not just miss
+// streams: Bin folds raw event offsets into the windowed form, and CV2 /
+// IndexOfDispersion quantify burstiness in the gap and count domains
+// (both 1 for Poisson arrivals). internal/load uses these to verify that
+// the traffic it offers to a server has the burstiness it was configured
+// to generate.
 package burst
 
 import (
 	"errors"
+	"sort"
 
 	"repro/internal/stats"
 )
@@ -145,4 +153,96 @@ func (a Analysis) Classify() Verdict {
 		return NonBursty
 	}
 	return Bursty
+}
+
+// ErrTooFewSamples is returned by the arrival-process estimators when the
+// sample cannot support the statistic (CV² needs at least two
+// inter-arrival gaps; dispersion needs at least two windows).
+var ErrTooFewSamples = errors.New("burst: too few samples for estimator")
+
+// Bin counts event offsets into fixed-width windows, the same windowed
+// representation Extract and Analyze consume. Offsets and window share a
+// unit (the caller's choice — seconds for wall-clock arrivals, cycles for
+// simulated miss streams); offsets need not be sorted. Negative offsets
+// and a non-positive window yield no bins. The last bin is the one
+// containing the largest offset, so trailing silence is not represented —
+// callers that care about it append empty bins themselves.
+func Bin(offsets []float64, window float64) []uint64 {
+	if window <= 0 {
+		return nil
+	}
+	maxIdx := -1
+	for _, off := range offsets {
+		if off < 0 {
+			continue
+		}
+		if i := int(off / window); i > maxIdx {
+			maxIdx = i
+		}
+	}
+	if maxIdx < 0 {
+		return nil
+	}
+	bins := make([]uint64, maxIdx+1)
+	for _, off := range offsets {
+		if off < 0 {
+			continue
+		}
+		bins[int(off/window)]++
+	}
+	return bins
+}
+
+// Interarrivals returns the gaps between consecutive sorted offsets. The
+// input is copied and sorted, so unsorted arrival logs are accepted; n
+// offsets yield n-1 gaps.
+func Interarrivals(offsets []float64) []float64 {
+	if len(offsets) < 2 {
+		return nil
+	}
+	sorted := make([]float64, len(offsets))
+	copy(sorted, offsets)
+	sort.Float64s(sorted)
+	gaps := make([]float64, len(sorted)-1)
+	for i := 1; i < len(sorted); i++ {
+		gaps[i-1] = sorted[i] - sorted[i-1]
+	}
+	return gaps
+}
+
+// CV2 returns the squared coefficient of variation Var(x)/Mean(x)² of a
+// sample — the burstiness statistic of an arrival process applied to its
+// inter-arrival gaps. A Poisson process has CV² = 1, a deterministic
+// (constant-rate) process 0, and burst-modulated (MMPP-style) processes
+// exceed 1. It returns ErrTooFewSamples below two samples and an error
+// for a zero-mean sample (no time elapses between any arrivals).
+func CV2(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrTooFewSamples
+	}
+	m := stats.Mean(xs)
+	if m == 0 {
+		return 0, errors.New("burst: zero-mean sample has no coefficient of variation")
+	}
+	return stats.Variance(xs) / (m * m), nil
+}
+
+// IndexOfDispersion returns Var(N)/Mean(N) over windowed event counts —
+// the count-domain companion of CV2. A Poisson process scores 1 at every
+// window size; values well above 1 mark bursty, correlated arrivals. It
+// returns ErrTooFewSamples below two windows and for all-empty windows.
+func IndexOfDispersion(windows []uint64) (float64, error) {
+	if len(windows) < 2 {
+		return 0, ErrTooFewSamples
+	}
+	xs := make([]float64, len(windows))
+	total := uint64(0)
+	for i, c := range windows {
+		xs[i] = float64(c)
+		total += c
+	}
+	if total == 0 {
+		return 0, ErrNoTraffic
+	}
+	return stats.Variance(xs) / stats.Mean(xs), nil
 }

@@ -1,0 +1,191 @@
+package burst
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// poissonOffsets generates arrival offsets of a Poisson process with the
+// given rate over [0, horizon) from a seeded source.
+func poissonOffsets(seed int64, rate, horizon float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var offsets []float64
+	t := rng.ExpFloat64() / rate
+	for t < horizon {
+		offsets = append(offsets, t)
+		t += rng.ExpFloat64() / rate
+	}
+	return offsets
+}
+
+// mmppOffsets generates an MMPP-2 (burst-modulated Poisson) arrival
+// stream: phases of exponential mean length alternate between a high rate
+// and a low rate. The rate ratio is the burst factor.
+func mmppOffsets(seed int64, baseRate, factor, phaseMean, horizon float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	hi := baseRate * 2 * factor / (factor + 1)
+	lo := baseRate * 2 / (factor + 1)
+	var offsets []float64
+	t, on := 0.0, true
+	phaseEnd := rng.ExpFloat64() * phaseMean
+	for t < horizon {
+		rate := lo
+		if on {
+			rate = hi
+		}
+		t += rng.ExpFloat64() / rate
+		for t >= phaseEnd {
+			on = !on
+			phaseEnd += rng.ExpFloat64() * phaseMean
+		}
+		if t < horizon {
+			offsets = append(offsets, t)
+		}
+	}
+	return offsets
+}
+
+// TestPoissonClassifiesNonBursty is the property the loadgen harness
+// leans on: seeded Poisson arrivals dense enough to occupy most windows
+// score CV² ≈ 1 in the gap domain and dispersion ≈ 1 in the count
+// domain, across window sizes, and Classify calls them non-bursty.
+func TestPoissonClassifiesNonBursty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		offsets := poissonOffsets(seed, 200, 50) // ~10k arrivals
+		cv2, err := CV2(Interarrivals(offsets))
+		if err != nil {
+			t.Fatalf("seed %d: CV2: %v", seed, err)
+		}
+		if math.Abs(cv2-1) > 0.2 {
+			t.Errorf("seed %d: Poisson CV² = %.3f, want 1±0.2", seed, cv2)
+		}
+		// Window sizes spanning ~2 to ~50 expected arrivals per window.
+		for _, window := range []float64{0.01, 0.05, 0.25} {
+			bins := Bin(offsets, window)
+			iod, err := IndexOfDispersion(bins)
+			if err != nil {
+				t.Fatalf("seed %d window %g: %v", seed, window, err)
+			}
+			if math.Abs(iod-1) > 0.35 {
+				t.Errorf("seed %d window %g: dispersion = %.3f, want 1±0.35", seed, window, iod)
+			}
+			a, err := Analyze(bins)
+			if err != nil {
+				t.Fatalf("seed %d window %g: Analyze: %v", seed, window, err)
+			}
+			if v := a.Classify(); v != NonBursty {
+				t.Errorf("seed %d window %g: verdict = %v, want non-bursty (non-empty fraction %.2f)",
+					seed, window, v, a.NonEmptyFraction)
+			}
+		}
+	}
+}
+
+// TestMMPPClassifiesBursty checks the complementary property: a strongly
+// burst-modulated stream at a sparse mean rate scores dispersion well
+// above 1 and classifies bursty across window sizes.
+func TestMMPPClassifiesBursty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		// Mean rate 20/s with a 50x on/off ratio: the on-phases are dense
+		// spikes, the off-phases near-silent — sparse windows overall.
+		offsets := mmppOffsets(seed, 20, 50, 0.5, 50)
+		cv2, err := CV2(Interarrivals(offsets))
+		if err != nil {
+			t.Fatalf("seed %d: CV2: %v", seed, err)
+		}
+		if cv2 < 1.5 {
+			t.Errorf("seed %d: MMPP CV² = %.3f, want > 1.5", seed, cv2)
+		}
+		for _, window := range []float64{0.05, 0.25} {
+			bins := Bin(offsets, window)
+			iod, err := IndexOfDispersion(bins)
+			if err != nil {
+				t.Fatalf("seed %d window %g: %v", seed, window, err)
+			}
+			if iod < 2 {
+				t.Errorf("seed %d window %g: dispersion = %.3f, want > 2", seed, window, iod)
+			}
+			a, err := Analyze(bins)
+			if err != nil {
+				t.Fatalf("seed %d window %g: Analyze: %v", seed, window, err)
+			}
+			if v := a.Classify(); v != Bursty {
+				t.Errorf("seed %d window %g: verdict = %v, want bursty (non-empty fraction %.2f)",
+					seed, window, v, a.NonEmptyFraction)
+			}
+		}
+	}
+}
+
+// TestBinProperties pins Bin's contract: counts are conserved, negative
+// offsets and non-positive windows are dropped, and unsorted input bins
+// identically to sorted input.
+func TestBinProperties(t *testing.T) {
+	if got := Bin(nil, 1); got != nil {
+		t.Errorf("Bin(nil) = %v, want nil", got)
+	}
+	if got := Bin([]float64{1, 2}, 0); got != nil {
+		t.Errorf("Bin(window=0) = %v, want nil", got)
+	}
+	if got := Bin([]float64{-3, -0.1}, 1); got != nil {
+		t.Errorf("Bin(all negative) = %v, want nil", got)
+	}
+	offsets := []float64{3.2, 0.1, 0.9, 3.9, -1, 2.0}
+	bins := Bin(offsets, 1)
+	want := []uint64{2, 0, 1, 2}
+	if len(bins) != len(want) {
+		t.Fatalf("bins = %v, want %v", bins, want)
+	}
+	var total uint64
+	for i, b := range bins {
+		if b != want[i] {
+			t.Errorf("bins = %v, want %v", bins, want)
+			break
+		}
+		total += b
+	}
+	if total != 5 {
+		t.Errorf("binned %d events, want 5 (negative offset dropped)", total)
+	}
+}
+
+// TestEstimatorEdges pins the small-sample contracts: the estimators
+// refuse samples they cannot support instead of returning NaN, and the
+// empty/single-window inputs flow through Extract/Analyze untrapped.
+func TestEstimatorEdges(t *testing.T) {
+	if _, err := CV2(nil); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("CV2(nil) err = %v, want ErrTooFewSamples", err)
+	}
+	if _, err := CV2([]float64{1}); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("CV2(1 sample) err = %v, want ErrTooFewSamples", err)
+	}
+	if _, err := CV2([]float64{0, 0, 0}); err == nil {
+		t.Error("CV2(zero-mean) must error, got nil")
+	}
+	if cv2, err := CV2([]float64{2, 2, 2, 2}); err != nil || cv2 != 0 {
+		t.Errorf("CV2(constant) = %v, %v, want 0, nil", cv2, err)
+	}
+	if _, err := IndexOfDispersion(nil); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("IndexOfDispersion(nil) err = %v, want ErrTooFewSamples", err)
+	}
+	if _, err := IndexOfDispersion([]uint64{7}); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("IndexOfDispersion(1 window) err = %v, want ErrTooFewSamples", err)
+	}
+	if _, err := IndexOfDispersion([]uint64{0, 0}); !errors.Is(err, ErrNoTraffic) {
+		t.Errorf("IndexOfDispersion(empty windows) err = %v, want ErrNoTraffic", err)
+	}
+	if gaps := Interarrivals([]float64{5}); gaps != nil {
+		t.Errorf("Interarrivals(1 offset) = %v, want nil", gaps)
+	}
+
+	// Single-window Analyze: one burst, no tail fit, classified non-bursty.
+	a, err := Analyze([]uint64{4})
+	if err != nil {
+		t.Fatalf("Analyze single window: %v", err)
+	}
+	if a.Bursts != 1 || a.TotalLines != 4 || a.Classify() != NonBursty {
+		t.Errorf("single-window analysis = %+v", a)
+	}
+}

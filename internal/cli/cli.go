@@ -36,6 +36,7 @@ type Common struct {
 	Class     string
 	Scale     float64
 	Jobs      int
+	Seed      int64
 	Verbose   bool
 	TraceOut  string
 	DebugAddr string
@@ -68,6 +69,13 @@ func (c *Common) RegisterJobs() {
 	flag.IntVar(&c.Jobs, "jobs", 0, "max concurrent simulations (0 = GOMAXPROCS); results are identical at any setting")
 }
 
+// RegisterSeed adds -seed: the deterministic-randomness root for drivers
+// that generate seeded stochastic inputs (loadgen's arrival schedules).
+// The same seed reproduces the same input byte-for-byte.
+func (c *Common) RegisterSeed() {
+	flag.Int64Var(&c.Seed, "seed", 1, "random seed; the same seed reproduces the same schedule exactly")
+}
+
 // RegisterVerbose adds -v.
 func (c *Common) RegisterVerbose() {
 	flag.BoolVar(&c.Verbose, "v", false, "log each simulation run with progress counter and timing")
@@ -77,6 +85,12 @@ func (c *Common) RegisterVerbose() {
 func (c *Common) RegisterTelemetry() {
 	flag.StringVar(&c.TraceOut, "trace-out", "", "write one NDJSON runner.span per served run (sim|dedup|cache|resumed) to this file")
 	flag.StringVar(&c.DebugAddr, "debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+}
+
+// RegisterTrace adds -trace-out alone, for drivers that emit trace events
+// but run no debug server (loadgen).
+func (c *Common) RegisterTrace() {
+	flag.StringVar(&c.TraceOut, "trace-out", "", "write NDJSON trace events to this file")
 }
 
 // RegisterResume adds -resume: the append-only sweep journal that lets a
@@ -173,6 +187,21 @@ func (c *Common) NewRunner() (*experiments.Runner, func(), error) {
 		}
 	}
 	return r, cleanup, nil
+}
+
+// OpenTracer opens -trace-out for a driver that needs a tracer without a
+// Runner (loadgen's URL mode). A nil tracer (no -trace-out) is returned as
+// (nil, cleanup, nil) — telemetry.Tracer methods are nil-safe. The cleanup
+// closes the file; call it before exit.
+func (c *Common) OpenTracer() (*telemetry.Tracer, func(), error) {
+	if c.TraceOut == "" {
+		return nil, func() {}, nil
+	}
+	f, err := os.Create(c.TraceOut)
+	if err != nil {
+		return nil, nil, err
+	}
+	return telemetry.NewTracer(f), func() { f.Close() }, nil
 }
 
 // Fatal prints "tool: err" and exits 1, the drivers' shared error exit.

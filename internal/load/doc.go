@@ -1,0 +1,31 @@
+// Package load is the open-loop load-generation harness behind
+// cmd/loadgen: it turns a configured arrival process into a deterministic
+// request schedule, fires it at a simserved instance without waiting for
+// responses (open loop — a slow server does not throttle the offered
+// load), logs one NDJSON record per request, and closes the loop
+// analytically: the achieved arrival stream is characterized with the
+// same CV²/index-of-dispersion machinery (internal/burst) the simulator
+// applies to miss streams, and observed latency vs offered load is fitted
+// against the M/M/1 ρ/(1−ρ) curve the paper's contention model is built
+// on (eqs 5–11), reporting the relative error per serving tier.
+//
+// The package splits into three stages, each usable alone:
+//
+//   - Schedule: seeded arrival-offset generation (constant, Poisson, or
+//     MMPP-2 burst-modulated). Same seed ⇒ byte-identical schedule; the
+//     schedule's own CV² is the "configured" burstiness the report
+//     compares against.
+//   - Run: the open-loop driver. One goroutine dispatches at schedule
+//     offsets, one goroutine per in-flight request measures first-byte
+//     and total latency (net/http/httptrace) and captures the
+//     X-Simserved-Tier header.
+//   - BuildReport: bins send times into windows (burst.Bin), classifies
+//     the achieved stream (burst.Analyze), and fits the per-tier mean
+//     latency against T = 1/(μ−λ) — see docs/LOADGEN.md for how to read
+//     the fit.
+//
+// Everything here is wall-clock territory by design — it measures a live
+// server — so the package is deliberately outside detlint's deterministic
+// core. The schedule stage, which feeds golden and determinism tests, is
+// pure: no clock reads, all randomness from the caller's seed.
+package load

@@ -1,0 +1,79 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecords is a fixed, hand-written request log that exercises every
+// field of the NDJSON schema: success with tier and tenant, a shed 429, a
+// transport error, and a zero-value row.
+func goldenRecords() []Record {
+	return []Record{
+		{Seq: 0, ScheduledMs: 0, SendMs: 0.25, FirstByteMs: 1.5, TotalMs: 1.75, Status: 200, Tier: "analytical", Tenant: "team-a"},
+		{Seq: 1, ScheduledMs: 10, SendMs: 10.125, FirstByteMs: 42, TotalMs: 55.5, Status: 200, Tier: "simulation"},
+		{Seq: 2, ScheduledMs: 20, SendMs: 20.5, FirstByteMs: 0.5, TotalMs: 0.5, Status: 429, Tier: "", Tenant: "team-a"},
+		{Seq: 3, ScheduledMs: 30, SendMs: 30.0625, Status: 0, Error: "connection refused"},
+		{Seq: 4},
+	}
+}
+
+// TestNDJSONGolden pins the loadgen record wire format byte-for-byte:
+// field names, field order, omitempty behavior, and number formatting.
+// Downstream consumers (load_smoke.sh, notebook tooling) parse this; any
+// schema change must be deliberate — rerun with -update to re-baseline.
+func TestNDJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, goldenRecords()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "records.golden.ndjson")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("NDJSON encoding drifted from golden schema.\ngot:\n%swant:\n%s\nIf the change is intentional, rerun with -update and document it in docs/LOADGEN.md.", got, want)
+	}
+}
+
+// TestNDJSONRoundTrip checks each golden line is standalone-parseable JSON
+// that decodes back to the original record — the property consumers rely on
+// when streaming line-by-line.
+func TestNDJSONRoundTrip(t *testing.T) {
+	recs := goldenRecords()
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n"))
+	if len(lines) != len(recs) {
+		t.Fatalf("lines = %d, want %d", len(lines), len(recs))
+	}
+	for i, line := range lines {
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if r != recs[i] {
+			t.Errorf("line %d round-trip: got %+v, want %+v", i, r, recs[i])
+		}
+	}
+}

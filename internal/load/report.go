@@ -1,0 +1,293 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/burst"
+	"repro/internal/stats"
+)
+
+// Options parameterizes BuildReport.
+type Options struct {
+	// Window is the binning window for arrival characterization and the
+	// M/M/1 fit. Zero means 1s.
+	Window time.Duration
+	// OfferedRPS is the configured mean rate, echoed into the report.
+	OfferedRPS float64
+	// ScheduleCV2 is the configured burstiness (ScheduleCV2 over the
+	// schedule that drove the run).
+	ScheduleCV2 float64
+	// MinWindowSamples is the minimum completed requests a window needs
+	// to contribute a latency point to the M/M/1 fit. Zero means 3.
+	MinWindowSamples int
+}
+
+// MM1Fit is the per-tier fit of observed latency against the open-queue
+// response-time curve T(λ) = 1/(μ−λ) — equivalently T = Ts/(1−ρ) with
+// service time Ts = 1/μ and utilization ρ = λ/μ, the paper's eq (5)
+// shape. μ is estimated from the per-window identity μ = 1/T + λ, exact
+// under M/M/1, then the curve is evaluated back against every window.
+type MM1Fit struct {
+	// Windows is the number of latency points the fit used.
+	Windows int
+	// ServiceRate is the fitted μ in requests/second; ServiceMs = 1000/μ.
+	ServiceRate float64
+	ServiceMs   float64
+	// PeakRho is the largest per-window utilization λ/μ observed.
+	PeakRho float64
+	// MeanRelErr and MaxRelErr compare observed window-mean latency with
+	// the fitted curve over the windows below saturation (ρ ≤ 0.9).
+	MeanRelErr float64
+	MaxRelErr  float64
+}
+
+// TierStats summarizes one serving tier's completed (2xx) requests.
+type TierStats struct {
+	Count  int
+	MeanMs float64
+	P50Ms  float64
+	P90Ms  float64
+	P99Ms  float64
+	MaxMs  float64
+	// MM1 is nil when no window had enough samples to fit.
+	MM1 *MM1Fit
+}
+
+// Report is the end-of-run analysis.
+type Report struct {
+	// Sent counts dispatched requests; OK the 2xx responses; Errors the
+	// transport-level failures (status 0).
+	Sent   int
+	OK     int
+	Errors int
+	// ByStatus counts responses per HTTP status (0 = transport error).
+	ByStatus map[int]int
+	// ElapsedS spans first send to last send; AchievedRPS = Sent/ElapsedS.
+	ElapsedS    float64
+	OfferedRPS  float64
+	AchievedRPS float64
+	// ScheduleCV2 is the configured burstiness; ArrivalCV2 the achieved
+	// one, measured over actual send times — the loadgen-side half of the
+	// paper's Fig. 4 methodology.
+	ScheduleCV2 float64
+	ArrivalCV2  float64
+	// Dispersion is the index of dispersion of windowed send counts and
+	// Verdict the burst.Classify call on the same windows.
+	Dispersion float64
+	Verdict    string
+	// Tiers maps X-Simserved-Tier values ("analytical", "simulation") to
+	// their latency summaries and M/M/1 fits.
+	Tiers map[string]TierStats
+}
+
+// ErrNoRecords reports an empty run.
+var ErrNoRecords = errors.New("load: no records to analyze")
+
+// BuildReport analyzes one run's records.
+func BuildReport(records []Record, opt Options) (Report, error) {
+	if len(records) == 0 {
+		return Report{}, ErrNoRecords
+	}
+	window := opt.Window
+	if window <= 0 {
+		window = time.Second
+	}
+	rep := Report{
+		Sent:        len(records),
+		ByStatus:    make(map[int]int),
+		OfferedRPS:  opt.OfferedRPS,
+		ScheduleCV2: opt.ScheduleCV2,
+		Tiers:       make(map[string]TierStats),
+	}
+	sends := make([]float64, 0, len(records))
+	minSend, maxSend := math.Inf(1), math.Inf(-1)
+	for _, r := range records {
+		rep.ByStatus[r.Status]++
+		switch {
+		case r.Status == 0:
+			rep.Errors++
+		case r.Status >= 200 && r.Status < 300:
+			rep.OK++
+		}
+		s := r.SendMs / 1000
+		sends = append(sends, s)
+		minSend = math.Min(minSend, s)
+		maxSend = math.Max(maxSend, s)
+	}
+	rep.ElapsedS = maxSend - minSend
+	if rep.ElapsedS > 0 {
+		rep.AchievedRPS = float64(rep.Sent) / rep.ElapsedS
+	}
+
+	// Achieved arrival characterization: the same estimators the
+	// simulator applies to miss streams, over actual send times.
+	if cv2, err := burst.CV2(burst.Interarrivals(sends)); err == nil {
+		rep.ArrivalCV2 = cv2
+	}
+	bins := burst.Bin(sends, window.Seconds())
+	if iod, err := burst.IndexOfDispersion(bins); err == nil {
+		rep.Dispersion = iod
+	}
+	if a, err := burst.Analyze(bins); err == nil {
+		rep.Verdict = a.Classify().String()
+	}
+
+	for tier, recs := range byTier(records) {
+		rep.Tiers[tier] = tierStats(recs, window, opt.MinWindowSamples)
+	}
+	return rep, nil
+}
+
+// byTier groups completed 2xx records by tier header.
+func byTier(records []Record) map[string][]Record {
+	out := make(map[string][]Record)
+	for _, r := range records {
+		if r.Status < 200 || r.Status >= 300 || r.Tier == "" {
+			continue
+		}
+		out[r.Tier] = append(out[r.Tier], r)
+	}
+	return out
+}
+
+// tierStats summarizes one tier and fits its latency curve.
+func tierStats(recs []Record, window time.Duration, minSamples int) TierStats {
+	lat := make([]float64, len(recs))
+	for i, r := range recs {
+		lat[i] = r.TotalMs
+	}
+	ts := TierStats{
+		Count:  len(recs),
+		MeanMs: stats.Mean(lat),
+		P50Ms:  stats.Percentile(lat, 50),
+		P90Ms:  stats.Percentile(lat, 90),
+		P99Ms:  stats.Percentile(lat, 99),
+	}
+	for _, l := range lat {
+		if l > ts.MaxMs {
+			ts.MaxMs = l
+		}
+	}
+	ts.MM1 = fitMM1(recs, window, minSamples)
+	return ts
+}
+
+// windowPoint is one (offered load, mean latency) observation.
+type windowPoint struct {
+	lambda float64 // requests/second arriving in the window
+	meanT  float64 // mean response time, seconds
+}
+
+// fitMM1 estimates μ from per-window observations and scores the
+// resulting ρ/(1−ρ) curve against them. Returns nil when no window has
+// enough samples.
+func fitMM1(recs []Record, window time.Duration, minSamples int) *MM1Fit {
+	if minSamples <= 0 {
+		minSamples = 3
+	}
+	winS := window.Seconds()
+	byWin := make(map[int][]Record)
+	for _, r := range recs {
+		k := int(r.SendMs / 1000 / winS)
+		byWin[k] = append(byWin[k], r)
+	}
+	var points []windowPoint
+	for _, wr := range byWin {
+		if len(wr) < minSamples {
+			continue
+		}
+		sumT := 0.0
+		for _, r := range wr {
+			sumT += r.TotalMs / 1000
+		}
+		points = append(points, windowPoint{
+			lambda: float64(len(wr)) / winS,
+			meanT:  sumT / float64(len(wr)),
+		})
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].lambda < points[j].lambda })
+
+	// Per-window μ = 1/T + λ is exact under M/M/1; average the estimates.
+	mu := 0.0
+	for _, p := range points {
+		if p.meanT <= 0 {
+			return nil
+		}
+		mu += 1/p.meanT + p.lambda
+	}
+	mu /= float64(len(points))
+
+	fit := &MM1Fit{
+		Windows:     len(points),
+		ServiceRate: mu,
+		ServiceMs:   1000 / mu,
+	}
+	// Score the curve below saturation: at ρ near 1 the open queue has no
+	// steady state and the observed transient tells us nothing about fit.
+	n := 0
+	for _, p := range points {
+		rho := p.lambda / mu
+		if rho > fit.PeakRho {
+			fit.PeakRho = rho
+		}
+		if rho > 0.9 {
+			continue
+		}
+		pred := 1 / (mu - p.lambda)
+		rel := math.Abs(pred-p.meanT) / p.meanT
+		fit.MeanRelErr += rel
+		if rel > fit.MaxRelErr {
+			fit.MaxRelErr = rel
+		}
+		n++
+	}
+	if n > 0 {
+		fit.MeanRelErr /= float64(n)
+	}
+	return fit
+}
+
+// WriteText renders the report for a terminal, in the spirit of the
+// repo's table artifacts: configured vs achieved arrivals first, then one
+// block per tier with the latency summary and the M/M/1 fit verdict.
+func (r Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "requests: sent=%d ok=%d errors=%d", r.Sent, r.OK, r.Errors)
+	statuses := make([]int, 0, len(r.ByStatus))
+	for s := range r.ByStatus {
+		statuses = append(statuses, s)
+	}
+	sort.Ints(statuses)
+	for _, s := range statuses {
+		fmt.Fprintf(w, " [%d]=%d", s, r.ByStatus[s])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "rate: offered=%.1f rps achieved=%.1f rps over %.1fs\n",
+		r.OfferedRPS, r.AchievedRPS, r.ElapsedS)
+	fmt.Fprintf(w, "arrivals: configured CV²=%.3f achieved CV²=%.3f dispersion=%.3f verdict=%s\n",
+		r.ScheduleCV2, r.ArrivalCV2, r.Dispersion, r.Verdict)
+	tiers := make([]string, 0, len(r.Tiers))
+	for t := range r.Tiers {
+		tiers = append(tiers, t)
+	}
+	sort.Strings(tiers)
+	for _, t := range tiers {
+		ts := r.Tiers[t]
+		fmt.Fprintf(w, "tier %-10s n=%-5d mean=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
+			t, ts.Count, ts.MeanMs, ts.P50Ms, ts.P90Ms, ts.P99Ms, ts.MaxMs)
+		if ts.MM1 == nil {
+			fmt.Fprintf(w, "  mm1: not enough windowed samples to fit\n")
+			continue
+		}
+		f := ts.MM1
+		fmt.Fprintf(w, "  mm1: μ=%.1f req/s (service %.3fms) peak ρ=%.3f fit err mean=%.1f%% max=%.1f%% over %d windows\n",
+			f.ServiceRate, f.ServiceMs, f.PeakRho, 100*f.MeanRelErr, 100*f.MaxRelErr, f.Windows)
+	}
+}

@@ -1,0 +1,135 @@
+package load
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mm1Records fabricates the request log of an ideal M/M/1 system: Poisson
+// arrivals from a seeded schedule through a single FIFO server with
+// exponential service at rate mu. No clocks, no HTTP — the closed-form
+// ground truth the report's fit must recover.
+func mm1Records(t *testing.T, schedule []time.Duration, mu float64, seed int64, tier string) []Record {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	records := make([]Record, len(schedule))
+	serverFree := 0.0
+	for i, off := range schedule {
+		arr := off.Seconds()
+		start := math.Max(arr, serverFree)
+		done := start + rng.ExpFloat64()/mu
+		serverFree = done
+		totalMs := (done - arr) * 1000
+		records[i] = Record{
+			Seq:         i,
+			ScheduledMs: arr * 1000,
+			SendMs:      arr * 1000,
+			FirstByteMs: totalMs,
+			TotalMs:     totalMs,
+			Status:      200,
+			Tier:        tier,
+		}
+	}
+	return records
+}
+
+// TestReportRecoversMM1 is the harness's self-validation: traffic that
+// really is M/M/1 must fit the ρ/(1−ρ) curve tightly — fitted μ within
+// 10% of truth, mean relative error well under the 25% CI gate — at both
+// moderate and high utilization.
+func TestReportRecoversMM1(t *testing.T) {
+	const mu = 1000.0 // 1ms service time
+	for _, rho := range []float64{0.3, 0.6} {
+		lambda := rho * mu
+		sched, err := Schedule(ScheduleConfig{
+			Mode: ModePoisson, RPS: lambda, Duration: 20 * time.Second, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv2, _ := ScheduleCV2(sched)
+		recs := mm1Records(t, sched, mu, 23, "analytical")
+		rep, err := BuildReport(recs, Options{
+			Window: time.Second, OfferedRPS: lambda, ScheduleCV2: cv2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, ok := rep.Tiers["analytical"]
+		if !ok || ts.MM1 == nil {
+			t.Fatalf("rho %.1f: no analytical fit in %+v", rho, rep.Tiers)
+		}
+		fit := ts.MM1
+		if math.Abs(fit.ServiceRate-mu)/mu > 0.10 {
+			t.Errorf("rho %.1f: fitted μ = %.1f, want %.0f±10%%", rho, fit.ServiceRate, mu)
+		}
+		if fit.MeanRelErr > 0.15 {
+			t.Errorf("rho %.1f: mean fit error %.1f%%, want < 15%%", rho, 100*fit.MeanRelErr)
+		}
+		if math.Abs(fit.PeakRho-rho) > 0.2 {
+			t.Errorf("rho %.1f: peak ρ = %.3f", rho, fit.PeakRho)
+		}
+		// The offered stream is Poisson: achieved burstiness must say so.
+		if math.Abs(rep.ArrivalCV2-1) > 0.2 {
+			t.Errorf("rho %.1f: achieved CV² = %.3f, want 1±0.2", rho, rep.ArrivalCV2)
+		}
+		// Only ~20 windows feed the dispersion estimate here (χ² noise of
+		// ±0.3 at one sigma), so the bound is looser than the burst
+		// package's many-window property test.
+		if math.Abs(rep.Dispersion-1) > 0.5 {
+			t.Errorf("rho %.1f: dispersion = %.3f, want 1±0.5", rho, rep.Dispersion)
+		}
+		if rep.Verdict != "non-bursty" {
+			t.Errorf("rho %.1f: verdict = %q", rho, rep.Verdict)
+		}
+		// Mean latency must sit near the closed form 1/(μ−λ).
+		wantMs := 1000 / (mu - lambda)
+		if math.Abs(ts.MeanMs-wantMs)/wantMs > 0.2 {
+			t.Errorf("rho %.1f: mean latency %.3fms, want %.3fms±20%%", rho, ts.MeanMs, wantMs)
+		}
+	}
+}
+
+// TestReportCountsAndText drives the bookkeeping paths: status counts,
+// error classification, tier grouping, and the text rendering.
+func TestReportCountsAndText(t *testing.T) {
+	recs := []Record{
+		{Seq: 0, SendMs: 0, TotalMs: 1, Status: 200, Tier: "analytical"},
+		{Seq: 1, SendMs: 100, TotalMs: 50, Status: 200, Tier: "simulation"},
+		{Seq: 2, SendMs: 200, TotalMs: 1, Status: 429, Tier: ""},
+		{Seq: 3, SendMs: 300, Status: 0, Error: "connection refused"},
+		{Seq: 4, SendMs: 2400, TotalMs: 2, Status: 200, Tier: "analytical"},
+	}
+	rep, err := BuildReport(recs, Options{Window: time.Second, OfferedRPS: 2, MinWindowSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 5 || rep.OK != 3 || rep.Errors != 1 {
+		t.Errorf("sent/ok/errors = %d/%d/%d", rep.Sent, rep.OK, rep.Errors)
+	}
+	if rep.ByStatus[200] != 3 || rep.ByStatus[429] != 1 || rep.ByStatus[0] != 1 {
+		t.Errorf("ByStatus = %v", rep.ByStatus)
+	}
+	if got := rep.Tiers["analytical"].Count; got != 2 {
+		t.Errorf("analytical count = %d, want 2", got)
+	}
+	if got := rep.Tiers["simulation"].Count; got != 1 {
+		t.Errorf("simulation count = %d, want 1", got)
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	out := sb.String()
+	for _, frag := range []string{"sent=5", "tier analytical", "tier simulation", "CV²", "verdict="} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("text report missing %q:\n%s", frag, out)
+		}
+	}
+
+	if _, err := BuildReport(nil, Options{}); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("empty records err = %v, want ErrNoRecords", err)
+	}
+}

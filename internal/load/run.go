@@ -1,0 +1,208 @@
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptrace"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// PredictPath is the endpoint the harness drives.
+const PredictPath = "/v1/predict"
+
+// Record is one NDJSON line of the request log. Field set and order are
+// pinned by a golden test — downstream tooling (jq recipes in
+// docs/LOADGEN.md, the CI artifact consumers) greps these names.
+type Record struct {
+	// Seq is the schedule index of the request.
+	Seq int `json:"seq"`
+	// ScheduledMs is the configured send offset from run start.
+	ScheduledMs float64 `json:"scheduled_ms"`
+	// SendMs is the actual send offset; SendMs−ScheduledMs is dispatch lag.
+	SendMs float64 `json:"send_ms"`
+	// FirstByteMs is the latency to the first response byte, and TotalMs
+	// to the fully-read body. Both are 0 when the request errored before
+	// any response arrived.
+	FirstByteMs float64 `json:"first_byte_ms"`
+	TotalMs     float64 `json:"total_ms"`
+	// Status is the HTTP status, or 0 on transport error.
+	Status int `json:"status"`
+	// Tier echoes the X-Simserved-Tier response header ("" on errors).
+	Tier string `json:"tier"`
+	// Tenant echoes the X-Simserved-Tenant request header, when set.
+	Tenant string `json:"tenant,omitempty"`
+	// Error is the transport error, when any.
+	Error string `json:"error,omitempty"`
+}
+
+// Config wires one open-loop run.
+type Config struct {
+	// BaseURL is the server under test, e.g. "http://localhost:8080".
+	BaseURL string
+	// Body is the POST /v1/predict payload sent on every request.
+	Body []byte
+	// Schedule holds the send offsets (see Schedule).
+	Schedule []time.Duration
+	// Tenant, when non-empty, is sent as X-Simserved-Tenant.
+	Tenant string
+	// Conns sizes the keep-alive connection pool. Zero means 4.
+	Conns int
+	// Client overrides the HTTP client (tests). Nil builds one from Conns.
+	Client *http.Client
+	// Tracer, when non-nil, receives load.start and load.done events.
+	Tracer *telemetry.Tracer
+}
+
+// ErrNoSchedule reports a run with nothing to send.
+var ErrNoSchedule = errors.New("load: empty schedule")
+
+// Run drives the schedule open-loop: requests fire at their offsets
+// regardless of how many are still in flight, so a slow server faces the
+// configured offered load instead of throttling it. The returned records
+// are ordered by Seq and complete — one per scheduled request, errors
+// included. Cancelling ctx stops dispatching and aborts in-flight
+// requests; the records dispatched so far are still returned, alongside
+// the context's error.
+func Run(ctx context.Context, cfg Config) ([]Record, error) {
+	if len(cfg.Schedule) == 0 {
+		return nil, ErrNoSchedule
+	}
+	client := cfg.Client
+	if client == nil {
+		conns := cfg.Conns
+		if conns <= 0 {
+			conns = 4
+		}
+		transport := &http.Transport{
+			MaxIdleConns:        conns,
+			MaxIdleConnsPerHost: conns,
+		}
+		client = &http.Client{Transport: transport}
+		defer transport.CloseIdleConnections()
+	}
+	url := cfg.BaseURL + PredictPath
+	if cfg.Tracer.Enabled() {
+		cfg.Tracer.Emit("load.start",
+			"url", url, "requests", len(cfg.Schedule), "tenant", cfg.Tenant)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		records = make([]Record, 0, len(cfg.Schedule))
+	)
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	dispatched := 0
+	var runErr error
+dispatch:
+	for i, off := range cfg.Schedule {
+		// An open loop never waits on completions — only on the clock.
+		// Late wake-ups fire immediately, so the full schedule is always
+		// offered; dispatch lag is visible as SendMs−ScheduledMs.
+		if wait := time.Until(start.Add(off)); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				runErr = ctx.Err()
+				break dispatch
+			case <-timer.C:
+			}
+		} else if err := ctx.Err(); err != nil {
+			runErr = err
+			break dispatch
+		}
+		dispatched++
+		wg.Add(1)
+		go func(seq int, scheduled time.Duration) {
+			defer wg.Done()
+			rec := fire(ctx, client, url, cfg, seq, scheduled, start)
+			mu.Lock()
+			records = append(records, rec)
+			mu.Unlock()
+		}(i, off)
+	}
+	wg.Wait()
+	sort.Slice(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
+	if cfg.Tracer.Enabled() {
+		cfg.Tracer.Emit("load.done",
+			"dispatched", dispatched, "elapsed_ms", float64(time.Since(start).Microseconds())/1000)
+	}
+	return records, runErr
+}
+
+// fire sends one request and measures it.
+func fire(ctx context.Context, client *http.Client, url string, cfg Config, seq int, scheduled time.Duration, start time.Time) Record {
+	rec := Record{
+		Seq:         seq,
+		ScheduledMs: durationMs(scheduled),
+		Tenant:      cfg.Tenant,
+	}
+	// sent is assigned before client.Do; the trace callback fires during
+	// Do, so the read is ordered after the write.
+	var sent time.Time
+	var firstByte time.Duration
+	trace := &httptrace.ClientTrace{
+		GotFirstResponseByte: func() { firstByte = time.Since(sent) },
+	}
+	req, err := http.NewRequestWithContext(httptrace.WithClientTrace(ctx, trace),
+		http.MethodPost, url, bytes.NewReader(cfg.Body))
+	if err != nil {
+		rec.Error = err.Error()
+		return rec
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if cfg.Tenant != "" {
+		req.Header.Set(server.HeaderTenant, cfg.Tenant)
+	}
+	sent = time.Now()
+	rec.SendMs = durationMs(sent.Sub(start))
+	resp, err := client.Do(req)
+	if err != nil {
+		rec.Error = err.Error()
+		return rec
+	}
+	_, copyErr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	rec.TotalMs = durationMs(time.Since(sent))
+	if firstByte > 0 {
+		rec.FirstByteMs = durationMs(firstByte)
+	} else {
+		rec.FirstByteMs = rec.TotalMs
+	}
+	rec.Status = resp.StatusCode
+	rec.Tier = resp.Header.Get(server.HeaderTier)
+	if copyErr != nil {
+		rec.Error = copyErr.Error()
+	}
+	return rec
+}
+
+// WriteNDJSON writes one JSON object per record, in input order.
+func WriteNDJSON(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			return fmt.Errorf("load: record %d: %w", records[i].Seq, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// durationMs renders a duration as float milliseconds.
+func durationMs(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

@@ -1,0 +1,150 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// stubServer fakes simserved's predict surface: instant 200s with a tier
+// header, an optional per-request delay, and an in-flight high-water mark
+// to observe open-loop concurrency.
+type stubServer struct {
+	delay    time.Duration
+	inflight atomic.Int64
+	peak     atomic.Int64
+}
+
+func (s *stubServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	cur := s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	for {
+		old := s.peak.Load()
+		if cur <= old || s.peak.CompareAndSwap(old, cur) {
+			break
+		}
+	}
+	if s.delay > 0 {
+		select {
+		case <-time.After(s.delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	w.Header().Set(server.HeaderTier, "analytical")
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(`{"omega":0.1}`))
+}
+
+func TestRunEmptySchedule(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); !errors.Is(err, ErrNoSchedule) {
+		t.Fatalf("err = %v, want ErrNoSchedule", err)
+	}
+}
+
+// TestRunOpenLoop drives a fast stub at 500 rps and checks the complete,
+// ordered record log: every scheduled request fired, got its tier header,
+// and was dispatched close to its schedule slot.
+func TestRunOpenLoop(t *testing.T) {
+	stub := &stubServer{}
+	ts := httptest.NewServer(stub)
+	defer ts.Close()
+
+	sched, err := Schedule(ScheduleConfig{Mode: ModePoisson, RPS: 500, Duration: 400 * time.Millisecond, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Body:     []byte(`{"machine":"IntelUMA8","program":"CG","class":"W","cores":2}`),
+		Schedule: sched,
+		Conns:    8,
+		Tenant:   "team-a",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(sched) {
+		t.Fatalf("records = %d, want %d", len(recs), len(sched))
+	}
+	for i, r := range recs {
+		if r.Seq != i {
+			t.Fatalf("records not ordered by seq: %d at %d", r.Seq, i)
+		}
+		if r.Status != http.StatusOK {
+			t.Errorf("seq %d: status %d (%s)", i, r.Status, r.Error)
+		}
+		if r.Tier != "analytical" {
+			t.Errorf("seq %d: tier %q", i, r.Tier)
+		}
+		if r.Tenant != "team-a" {
+			t.Errorf("seq %d: tenant %q", i, r.Tenant)
+		}
+		if r.TotalMs <= 0 || r.FirstByteMs <= 0 || r.FirstByteMs > r.TotalMs+0.001 {
+			t.Errorf("seq %d: latencies first_byte=%g total=%g", i, r.FirstByteMs, r.TotalMs)
+		}
+		if lag := r.SendMs - r.ScheduledMs; lag < -1 || lag > 200 {
+			t.Errorf("seq %d: dispatch lag %.2fms", i, lag)
+		}
+	}
+}
+
+// TestRunIsOpenLoop pins the defining property: with a server delay far
+// longer than the inter-arrival gap, dispatch does not wait for
+// completions — many requests are in flight at once and every one fires.
+func TestRunIsOpenLoop(t *testing.T) {
+	stub := &stubServer{delay: 300 * time.Millisecond}
+	ts := httptest.NewServer(stub)
+	defer ts.Close()
+
+	const n = 20
+	sched, err := Schedule(ScheduleConfig{Mode: ModeConst, RPS: 100, Duration: n * 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	recs, err := Run(context.Background(), Config{BaseURL: ts.URL, Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(recs) != n {
+		t.Fatalf("records = %d, want %d", len(recs), n)
+	}
+	// Closed-loop behavior would serialize to n×delay = 6s; the open loop
+	// overlaps everything into roughly schedule span + one delay.
+	if elapsed > 2*time.Second {
+		t.Errorf("run took %s — dispatch appears to wait for completions", elapsed)
+	}
+	if peak := stub.peak.Load(); peak < 5 {
+		t.Errorf("peak in-flight %d, want >= 5 (open loop overlaps requests)", peak)
+	}
+}
+
+// TestRunCancel checks mid-run cancellation: dispatch stops, the context
+// error is surfaced, and the records dispatched so far come back.
+func TestRunCancel(t *testing.T) {
+	stub := &stubServer{}
+	ts := httptest.NewServer(stub)
+	defer ts.Close()
+
+	sched, err := Schedule(ScheduleConfig{Mode: ModeConst, RPS: 20, Duration: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	recs, err := Run(ctx, Config{BaseURL: ts.URL, Schedule: sched})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if len(recs) == 0 || len(recs) >= len(sched) {
+		t.Errorf("records = %d of %d, want a proper prefix", len(recs), len(sched))
+	}
+}

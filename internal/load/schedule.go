@@ -1,0 +1,165 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/burst"
+)
+
+// Mode selects the arrival process of a schedule.
+type Mode string
+
+const (
+	// ModeConst spaces arrivals evenly at 1/RPS — CV² = 0, the
+	// least-bursty offered load possible.
+	ModeConst Mode = "const"
+	// ModePoisson draws exponential inter-arrival gaps at rate RPS —
+	// CV² = 1, the M/M/1 model's own arrival assumption.
+	ModePoisson Mode = "poisson"
+	// ModeBurst modulates a Poisson process with a two-state phase chain
+	// (MMPP-2): exponential phases alternate between a high and a low
+	// rate whose ratio is the burst factor, keeping the mean rate at RPS.
+	// CV² > 1, growing with the factor.
+	ModeBurst Mode = "burst"
+)
+
+// ParseMode validates a -mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeConst, ModePoisson, ModeBurst:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("load: unknown mode %q (const, poisson, burst)", s)
+}
+
+// ErrBadSchedule reports an invalid schedule configuration.
+var ErrBadSchedule = errors.New("load: invalid schedule config")
+
+// ScheduleConfig parameterizes an arrival schedule.
+type ScheduleConfig struct {
+	// Mode is the arrival process.
+	Mode Mode
+	// RPS is the mean offered rate in requests per second.
+	RPS float64
+	// Duration is the horizon; arrivals fall in [0, Duration).
+	Duration time.Duration
+	// Seed drives all randomness. The same (Mode, RPS, Duration, Seed,
+	// Burst, Phase) produces a byte-identical schedule.
+	Seed int64
+	// Burst is the on/off rate ratio of ModeBurst (≥ 1; 1 degenerates to
+	// Poisson). Ignored by the other modes.
+	Burst float64
+	// Phase is the mean phase length of ModeBurst's modulating chain.
+	// Zero means Duration/8. Ignored by the other modes.
+	Phase time.Duration
+}
+
+// validate checks the config, resolving nothing.
+func (c ScheduleConfig) validate() error {
+	if c.RPS <= 0 {
+		return fmt.Errorf("%w: rps %g must be positive", ErrBadSchedule, c.RPS)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("%w: duration %s must be positive", ErrBadSchedule, c.Duration)
+	}
+	if _, err := ParseMode(string(c.Mode)); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSchedule, err)
+	}
+	if c.Mode == ModeBurst && c.Burst < 1 {
+		return fmt.Errorf("%w: burst factor %g must be >= 1", ErrBadSchedule, c.Burst)
+	}
+	return nil
+}
+
+// Schedule generates the arrival offsets of the configured process:
+// strictly non-decreasing durations in [0, Duration). It is pure — no
+// clock reads, all randomness from Seed — so identical configs yield
+// byte-identical schedules (the determinism the resume-style tests pin).
+func Schedule(cfg ScheduleConfig) ([]time.Duration, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	horizon := cfg.Duration.Seconds()
+	switch cfg.Mode {
+	case ModeConst:
+		n := int(cfg.RPS * horizon)
+		if n < 1 {
+			n = 1
+		}
+		gap := 1 / cfg.RPS
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = secondsToDuration(float64(i) * gap)
+		}
+		return out, nil
+	case ModePoisson:
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		var out []time.Duration
+		for t := rng.ExpFloat64() / cfg.RPS; t < horizon; t += rng.ExpFloat64() / cfg.RPS {
+			out = append(out, secondsToDuration(t))
+		}
+		return out, nil
+	case ModeBurst:
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		phase := cfg.Phase.Seconds()
+		if phase <= 0 {
+			phase = horizon / 8
+		}
+		// Rates chosen so the duty-cycle-weighted mean is exactly RPS and
+		// the on/off ratio is the burst factor.
+		hi := cfg.RPS * 2 * cfg.Burst / (cfg.Burst + 1)
+		lo := cfg.RPS * 2 / (cfg.Burst + 1)
+		var out []time.Duration
+		t, on := 0.0, true
+		phaseEnd := rng.ExpFloat64() * phase
+		for {
+			rate := lo
+			if on {
+				rate = hi
+			}
+			t += rng.ExpFloat64() / rate
+			if t >= horizon {
+				return out, nil
+			}
+			for t >= phaseEnd {
+				on = !on
+				phaseEnd += rng.ExpFloat64() * phase
+			}
+			out = append(out, secondsToDuration(t))
+		}
+	}
+	// validate() rejected every other mode already.
+	return nil, fmt.Errorf("%w: mode %q", ErrBadSchedule, cfg.Mode)
+}
+
+// ScheduleCV2 returns the squared coefficient of variation of the
+// schedule's inter-arrival gaps — the "configured" burstiness the report
+// prints next to the achieved one. Schedules too short to estimate (fewer
+// than three arrivals) report as NaN-free 0 with ok=false.
+func ScheduleCV2(schedule []time.Duration) (float64, bool) {
+	offs := OffsetsSeconds(schedule)
+	cv2, err := burst.CV2(burst.Interarrivals(offs))
+	if err != nil {
+		return 0, false
+	}
+	return cv2, true
+}
+
+// OffsetsSeconds converts schedule offsets to float seconds, the unit the
+// burst estimators consume.
+func OffsetsSeconds(schedule []time.Duration) []float64 {
+	out := make([]float64, len(schedule))
+	for i, d := range schedule {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// secondsToDuration converts without the rounding surprises of
+// time.Duration(f * 1e9) on large f.
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,128 @@
+package load
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParseMode(t *testing.T) {
+	for _, ok := range []string{"const", "poisson", "burst"} {
+		if _, err := ParseMode(ok); err != nil {
+			t.Errorf("ParseMode(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseMode("uniform"); err == nil {
+		t.Error("ParseMode(uniform) must fail")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	cases := []ScheduleConfig{
+		{Mode: ModePoisson, RPS: 0, Duration: time.Second},
+		{Mode: ModePoisson, RPS: 10, Duration: 0},
+		{Mode: "warp", RPS: 10, Duration: time.Second},
+		{Mode: ModeBurst, RPS: 10, Duration: time.Second, Burst: 0.5},
+	}
+	for _, cfg := range cases {
+		if _, err := Schedule(cfg); !errors.Is(err, ErrBadSchedule) {
+			t.Errorf("Schedule(%+v) err = %v, want ErrBadSchedule", cfg, err)
+		}
+	}
+}
+
+func TestScheduleConst(t *testing.T) {
+	sched, err := Schedule(ScheduleConfig{Mode: ModeConst, RPS: 10, Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 10 {
+		t.Fatalf("len = %d, want 10", len(sched))
+	}
+	for i, off := range sched {
+		want := time.Duration(i) * 100 * time.Millisecond
+		if diff := (off - want).Abs(); diff > time.Microsecond {
+			t.Errorf("offset[%d] = %s, want %s", i, off, want)
+		}
+	}
+	if cv2, ok := ScheduleCV2(sched); !ok || cv2 > 1e-9 {
+		t.Errorf("const CV² = %v ok=%v, want ~0", cv2, ok)
+	}
+}
+
+// TestScheduleDeterminism is the jobs-style determinism claim: the same
+// seed yields an element-identical schedule, a different seed a different
+// one. The NDJSON golden test pins the byte encoding separately.
+func TestScheduleDeterminism(t *testing.T) {
+	for _, mode := range []Mode{ModeConst, ModePoisson, ModeBurst} {
+		cfg := ScheduleConfig{Mode: mode, RPS: 200, Duration: 5 * time.Second, Seed: 42, Burst: 8}
+		a, err := Schedule(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		b, err := Schedule(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different schedules", mode)
+		}
+		if mode == ModeConst {
+			continue
+		}
+		cfg.Seed = 43
+		c, err := Schedule(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: different seeds produced identical schedules", mode)
+		}
+	}
+}
+
+// TestScheduleRates checks each mode offers the configured mean rate and
+// the configured burstiness ordering: const CV² = 0 < poisson ≈ 1 < burst.
+func TestScheduleRates(t *testing.T) {
+	const rps, dur = 100.0, 30 * time.Second
+	var cv2s []float64
+	for _, mode := range []Mode{ModeConst, ModePoisson, ModeBurst} {
+		// A short phase keeps the realized on/off duty cycle close to its
+		// 50/50 expectation, so the mean-rate assertion is not dominated
+		// by phase-sampling noise.
+		sched, err := Schedule(ScheduleConfig{Mode: mode, RPS: rps, Duration: dur, Seed: 7, Burst: 10, Phase: 250 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		rate := float64(len(sched)) / dur.Seconds()
+		if math.Abs(rate-rps)/rps > 0.15 {
+			t.Errorf("%s: mean rate %.1f, want %.0f±15%%", mode, rate, rps)
+		}
+		last := time.Duration(-1)
+		for i, off := range sched {
+			if off < last {
+				t.Fatalf("%s: offsets not monotonic at %d", mode, i)
+			}
+			if off >= dur {
+				t.Fatalf("%s: offset %s beyond horizon", mode, off)
+			}
+			last = off
+		}
+		cv2, ok := ScheduleCV2(sched)
+		if !ok {
+			t.Fatalf("%s: CV² not estimable", mode)
+		}
+		cv2s = append(cv2s, cv2)
+	}
+	if cv2s[0] > 1e-9 {
+		t.Errorf("const CV² = %g, want 0", cv2s[0])
+	}
+	if math.Abs(cv2s[1]-1) > 0.2 {
+		t.Errorf("poisson CV² = %.3f, want 1±0.2", cv2s[1])
+	}
+	if cv2s[2] < 1.5 {
+		t.Errorf("burst CV² = %.3f, want > 1.5", cv2s[2])
+	}
+}

@@ -1,0 +1,114 @@
+package server
+
+import "sync"
+
+// Admission scope names reported in the X-Simserved-Admission-Scope
+// header of a 429: which bucket rejected the request.
+const (
+	// ScopeTenant means the caller's own per-tenant bucket was full —
+	// other tenants were unaffected by the overload.
+	ScopeTenant = "tenant"
+	// ScopeGlobal means the instance-wide bucket was full.
+	ScopeGlobal = "global"
+)
+
+// admitter is the simulation tier's two-level token bucket. A request
+// holds one global token and one token of its tenant's bucket from
+// admission decision to response write. The per-tenant cap is the
+// fairness mechanism: a tenant that floods the simulation tier exhausts
+// its own bucket and starts shedding with 429s while the global bucket —
+// and so every other tenant's share — still has room. Tenants are
+// identified by the X-Simserved-Tenant request header; the empty tenant
+// is a tenant like any other, so anonymous traffic cannot starve named
+// tenants either.
+//
+// The global bucket is a channel (its length is the exported queue
+// depth); per-tenant holds are plain counters under a mutex, deleted at
+// zero so the tenant map stays bounded by the number of tenants actually
+// in flight.
+type admitter struct {
+	global    chan struct{}
+	perTenant int
+
+	mu    sync.Mutex
+	inUse map[string]int
+}
+
+// newAdmitter builds an admitter with the given global and per-tenant
+// caps. perTenant is clamped into [1, global].
+func newAdmitter(global, perTenant int) *admitter {
+	if perTenant < 1 {
+		perTenant = 1
+	}
+	if perTenant > global {
+		perTenant = global
+	}
+	return &admitter{
+		global:    make(chan struct{}, global),
+		perTenant: perTenant,
+		inUse:     make(map[string]int),
+	}
+}
+
+// Acquire takes one token for tenant, or reports which scope is full.
+// It never blocks: admission control sheds instead of queueing.
+func (a *admitter) Acquire(tenant string) (ok bool, scope string) {
+	a.mu.Lock()
+	if a.inUse[tenant] >= a.perTenant {
+		a.mu.Unlock()
+		return false, ScopeTenant
+	}
+	a.inUse[tenant]++
+	a.mu.Unlock()
+	select {
+	case a.global <- struct{}{}:
+		return true, ""
+	default:
+		a.mu.Lock()
+		a.dec(tenant)
+		a.mu.Unlock()
+		return false, ScopeGlobal
+	}
+}
+
+// Release returns tenant's token.
+func (a *admitter) Release(tenant string) {
+	<-a.global
+	a.mu.Lock()
+	a.dec(tenant)
+	a.mu.Unlock()
+}
+
+// dec decrements a tenant's hold count, deleting the entry at zero.
+// Callers hold a.mu.
+func (a *admitter) dec(tenant string) {
+	if a.inUse[tenant] <= 1 {
+		delete(a.inUse, tenant)
+	} else {
+		a.inUse[tenant]--
+	}
+}
+
+// Depth is the number of tokens currently held instance-wide.
+func (a *admitter) Depth() int { return len(a.global) }
+
+// Cap is the global bucket capacity.
+func (a *admitter) Cap() int { return cap(a.global) }
+
+// TenantCap is the per-tenant bucket capacity.
+func (a *admitter) TenantCap() int { return a.perTenant }
+
+// Tenants is the number of tenants currently holding at least one token.
+func (a *admitter) Tenants() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.inUse)
+}
+
+// Held reports how many tokens tenant currently holds (tests and
+// /healthz diagnostics).
+func (a *admitter) Held(tenant string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse[tenant]
+}

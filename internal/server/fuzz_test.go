@@ -1,0 +1,66 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzPredictHandler throws arbitrary bytes at POST /v1/predict and pins
+// the error envelope: every response is one of 200/400/429/499 with a JSON
+// body — never a panic, never a 5xx. The admission queue is pre-filled so
+// structurally valid bodies shed with 429 instead of running a simulation
+// per input; decode and validation failures 400 before admission anyway.
+func FuzzPredictHandler(f *testing.F) {
+	s, _ := newTestServer(f, 0.05, 1)
+	ok, _ := s.adm.Acquire("fuzz-hog")
+	if !ok {
+		f.Fatal("could not occupy the admission token")
+	}
+	h := s.Handler()
+
+	seeds := []string{
+		`{"machine":"IntelUMA8","program":"CG","class":"W","cores":2}`,
+		`{"machine":"IntelUMA8","program":"EP","class":"W"}`,
+		`{}`,
+		`{`,
+		``,
+		`null`,
+		`[]`,
+		`"machine"`,
+		`{"machine":"IntelUMA8","program":"CG","class":"W","cores":-1}`,
+		`{"machine":"IntelUMA8","program":"CG","class":"W","cores":999999999}`,
+		`{"machine":"IntelUMA8","program":"CG","class":"W","core":2}`,
+		`{"machine":"IntelUMA8","program":"CG","class":"W","scale":0.5}`,
+		`{"machine":"x","program":"CG","class":"W"}`,
+		`{"machine":"IntelUMA8","program":"CG","class":"W","cores":1e30}`,
+		`{"machine":"IntelUMA8","program":"CG","class":"W","cores":2}` + strings.Repeat(" ", 4096),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	allowed := map[int]bool{
+		http.StatusOK:              true,
+		http.StatusBadRequest:      true,
+		http.StatusTooManyRequests: true,
+		StatusClientClosedRequest:  true,
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(string(body)))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+
+		if !allowed[w.Code] {
+			t.Fatalf("body %q: status %d, want one of 200/400/429/499", body, w.Code)
+		}
+		if !json.Valid(w.Body.Bytes()) {
+			t.Fatalf("body %q: response is not JSON: %q", body, w.Body.String())
+		}
+		if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("body %q: Content-Type %q", body, ct)
+		}
+	})
+}

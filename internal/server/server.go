@@ -6,8 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/machine"
@@ -27,14 +30,40 @@ const DefaultMaxQueue = 64
 // its simulation finished (nginx's 499 convention; Go has no name for it).
 const StatusClientClosedRequest = 499
 
+// Wire headers shared with clients and the load harness (internal/load).
+const (
+	// HeaderTier reports which tier answered a prediction.
+	HeaderTier = "X-Simserved-Tier"
+	// HeaderConfigHash reports the content address of the answered query.
+	HeaderConfigHash = "X-Simserved-Config-Hash"
+	// HeaderTenant identifies the caller's admission bucket on requests.
+	// Absent means the anonymous tenant "".
+	HeaderTenant = "X-Simserved-Tenant"
+	// HeaderAdmissionScope reports, on a 429, which bucket was full:
+	// ScopeTenant or ScopeGlobal.
+	HeaderAdmissionScope = "X-Simserved-Admission-Scope"
+)
+
+// Retry-After bounds: the hint is derived from a latency estimate, never
+// below one second and never an hour-long lie.
+const (
+	minRetryAfterS = 1
+	maxRetryAfterS = 60
+)
+
 // Config wires a Server. Predictor is required; everything else has
 // serviceable defaults.
 type Config struct {
 	// Predictor is the tiered backend answering queries.
 	Predictor *model.Predictor
-	// MaxQueue bounds simulation-tier admission (queued + running).
-	// Zero means DefaultMaxQueue.
+	// MaxQueue bounds simulation-tier admission (queued + running)
+	// instance-wide. Zero means DefaultMaxQueue.
 	MaxQueue int
+	// MaxPerTenant bounds the admission tokens any one tenant
+	// (X-Simserved-Tenant) may hold at once. Zero means half of MaxQueue
+	// (rounded up), so no single tenant can starve the simulation tier;
+	// values are clamped into [1, MaxQueue].
+	MaxPerTenant int
 	// Metrics receives request/queue/tier metrics and is served at
 	// /metrics. Nil creates a private registry (still served).
 	Metrics *telemetry.Registry
@@ -48,10 +77,16 @@ type Server struct {
 	pred    *model.Predictor
 	metrics *telemetry.Registry
 	tracer  *telemetry.Tracer
-	// admission is the simulation-tier token bucket: a request holds one
-	// token from admission decision to response write. Channel capacity
-	// is the queue bound; len() is the exported depth.
-	admission chan struct{}
+	// adm is the simulation tier's two-level (global + per-tenant) token
+	// bucket: a request holds its tokens from admission decision to
+	// response write.
+	adm *admitter
+
+	// latMu guards simLatencyS, an EWMA of simulation-tier response time
+	// in seconds that prices the Retry-After hint on 429s. Seeded at 1s
+	// so a cold server neither promises instant retry nor stalls clients.
+	latMu       sync.Mutex
+	simLatencyS float64
 }
 
 // New returns a Server over the given backend.
@@ -63,15 +98,20 @@ func New(cfg Config) *Server {
 	if maxQueue <= 0 {
 		maxQueue = DefaultMaxQueue
 	}
+	perTenant := cfg.MaxPerTenant
+	if perTenant <= 0 {
+		perTenant = (maxQueue + 1) / 2
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
 	return &Server{
-		pred:      cfg.Predictor,
-		metrics:   reg,
-		tracer:    cfg.Tracer,
-		admission: make(chan struct{}, maxQueue),
+		pred:        cfg.Predictor,
+		metrics:     reg,
+		tracer:      cfg.Tracer,
+		adm:         newAdmitter(maxQueue, perTenant),
+		simLatencyS: 1,
 	}
 }
 
@@ -179,6 +219,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	class := workload.Class(req.Class)
+	tenant := r.Header.Get(HeaderTenant)
 	s.metrics.Counter("simserved_requests_total").Inc()
 
 	// Fast path first: microseconds, no admission, no queueing.
@@ -186,10 +227,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if pred, reason := s.pred.Analytical(spec, req.Program, class, cores); reason == "" {
 		s.respond(w, pred, time.Since(start))
 		return
-	} else if !s.admit(w, spec, req.Program, class, cores, reason) {
+	} else if !s.admit(w, tenant, spec, req.Program, class, cores, reason) {
 		return
 	}
-	defer s.release()
+	defer s.release(tenant)
 
 	pred, err := s.pred.Predict(r.Context(), spec, req.Program, class, cores)
 	switch {
@@ -210,33 +251,70 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// admit takes one simulation-tier admission token, or sheds the request
-// with 429 + Retry-After and reports false. The queue-depth gauge tracks
-// tokens in use.
-func (s *Server) admit(w http.ResponseWriter, spec machine.Spec, program string, class workload.Class, cores int, reason model.DeclineReason) bool {
-	select {
-	case s.admission <- struct{}{}:
-		s.metrics.Gauge("simserved_queue_depth").Set(float64(len(s.admission)))
+// admit takes one simulation-tier admission token for the tenant, or
+// sheds the request with 429 + Retry-After + the rejecting scope and
+// reports false. The queue-depth gauge tracks tokens in use.
+func (s *Server) admit(w http.ResponseWriter, tenant string, spec machine.Spec, program string, class workload.Class, cores int, reason model.DeclineReason) bool {
+	ok, scope := s.adm.Acquire(tenant)
+	if ok {
+		s.metrics.Gauge("simserved_queue_depth").Set(float64(s.adm.Depth()))
 		return true
-	default:
-		s.metrics.Counter("simserved_rejected_total").Inc()
-		if s.tracer.Enabled() {
-			s.tracer.Emit("server.rejected", "machine", spec.Name, "program", program,
-				"class", string(class), "cores", cores, "decline", string(reason),
-				"queue", cap(s.admission))
-		}
-		w.Header().Set("Retry-After", "1")
-		s.fail(w, http.StatusTooManyRequests, fmt.Sprintf(
-			"simulation admission queue full (%d in flight); the analytical tier declined (%s) — retry shortly or warm this pair",
-			cap(s.admission), reason))
-		return false
 	}
+	s.metrics.Counter("simserved_rejected_total").Inc()
+	if scope == ScopeTenant {
+		s.metrics.Counter("simserved_tenant_rejected_total").Inc()
+	}
+	if s.tracer.Enabled() {
+		s.tracer.Emit("server.rejected", "machine", spec.Name, "program", program,
+			"class", string(class), "cores", cores, "decline", string(reason),
+			"tenant", tenant, "scope", scope, "queue", s.adm.Cap())
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterS()))
+	w.Header().Set(HeaderAdmissionScope, scope)
+	var msg string
+	if scope == ScopeTenant {
+		msg = fmt.Sprintf(
+			"tenant admission bucket full (cap %d simulations per tenant); the analytical tier declined (%s) — retry after the hint or warm this pair",
+			s.adm.TenantCap(), reason)
+	} else {
+		msg = fmt.Sprintf(
+			"simulation admission queue full (%d in flight); the analytical tier declined (%s) — retry after the hint or warm this pair",
+			s.adm.Cap(), reason)
+	}
+	s.fail(w, http.StatusTooManyRequests, msg)
+	return false
 }
 
-// release returns one admission token.
-func (s *Server) release() {
-	<-s.admission
-	s.metrics.Gauge("simserved_queue_depth").Set(float64(len(s.admission)))
+// release returns the tenant's admission token.
+func (s *Server) release(tenant string) {
+	s.adm.Release(tenant)
+	s.metrics.Gauge("simserved_queue_depth").Set(float64(s.adm.Depth()))
+}
+
+// retryAfterS prices the Retry-After hint from the simulation-latency
+// EWMA: roughly one service time, clamped into
+// [minRetryAfterS, maxRetryAfterS] so the hint is always a positive
+// integer bounded by a minute.
+func (s *Server) retryAfterS() int {
+	s.latMu.Lock()
+	est := s.simLatencyS
+	s.latMu.Unlock()
+	v := int(math.Ceil(est))
+	if v < minRetryAfterS {
+		v = minRetryAfterS
+	}
+	if v > maxRetryAfterS {
+		v = maxRetryAfterS
+	}
+	return v
+}
+
+// observeSimLatency folds one simulation-tier response time into the
+// Retry-After estimate (EWMA, 20% new sample).
+func (s *Server) observeSimLatency(elapsed time.Duration) {
+	s.latMu.Lock()
+	s.simLatencyS = 0.8*s.simLatencyS + 0.2*elapsed.Seconds()
+	s.latMu.Unlock()
 }
 
 // respond writes one successful prediction with the tier headers and
@@ -250,6 +328,7 @@ func (s *Server) respond(w http.ResponseWriter, pred model.Prediction, elapsed t
 	case model.TierSimulation:
 		s.metrics.Counter("simserved_simulation_total").Inc()
 		s.metrics.Histogram("simserved_simulate_ms", 10, 100, 1000, 10000, 100000).Observe(ms)
+		s.observeSimLatency(elapsed)
 	}
 	s.metrics.Histogram("simserved_predict_ms", 0.01, 0.1, 1, 10, 100, 1000, 10000, 100000).Observe(ms)
 	if s.tracer.Enabled() {
@@ -280,8 +359,8 @@ func (s *Server) respond(w http.ResponseWriter, pred model.Prediction, elapsed t
 			SaturationCores: pred.Fit.SaturationCores,
 		}
 	}
-	w.Header().Set("X-Simserved-Tier", string(pred.Tier))
-	w.Header().Set("X-Simserved-Config-Hash", pred.ConfigHash)
+	w.Header().Set(HeaderTier, string(pred.Tier))
+	w.Header().Set(HeaderConfigHash, pred.ConfigHash)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -368,6 +447,8 @@ type healthzResponse struct {
 	CachedRuns int     `json:"cached_runs"`
 	QueueDepth int     `json:"queue_depth"`
 	QueueCap   int     `json:"queue_cap"`
+	TenantCap  int     `json:"tenant_cap"`
+	Tenants    int     `json:"tenants"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -376,8 +457,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Scale:      s.pred.Scale(),
 		Fits:       s.pred.FitCount(),
 		CachedRuns: s.pred.CachedRuns(),
-		QueueDepth: len(s.admission),
-		QueueCap:   cap(s.admission),
+		QueueDepth: s.adm.Depth(),
+		QueueCap:   s.adm.Cap(),
+		TenantCap:  s.adm.TenantCap(),
+		Tenants:    s.adm.Tenants(),
 	})
 }
 

@@ -180,7 +180,11 @@ func TestPredictCanceled(t *testing.T) {
 // the next cold request is shed with 429 + Retry-After instead of queuing.
 func TestAdmissionFull(t *testing.T) {
 	s, _ := newTestServer(t, 0.05, 1)
-	s.admission <- struct{}{} // occupy the only token
+	ok, _ := s.adm.Acquire("other") // occupy the only global token
+	if !ok {
+		t.Fatal("could not occupy the admission token")
+	}
+	defer s.adm.Release("other")
 
 	w := postPredict(t, s.Handler(), `{"machine":"IntelUMA8","program":"CG","class":"W","cores":2}`)
 	if w.Code != http.StatusTooManyRequests {
@@ -189,17 +193,15 @@ func TestAdmissionFull(t *testing.T) {
 	if w.Header().Get("Retry-After") == "" {
 		t.Error("429 without Retry-After")
 	}
+	if got := w.Header().Get(HeaderAdmissionScope); got != ScopeGlobal {
+		t.Errorf("scope header = %q, want %q", got, ScopeGlobal)
+	}
 	var e errorResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
 		t.Fatalf("error body is not JSON: %q", w.Body.String())
 	}
 	if !strings.Contains(e.Error, "no_fit") {
 		t.Errorf("shed response %q does not carry the decline reason", e.Error)
-	}
-
-	<-s.admission
-	if len(s.admission) != 0 {
-		t.Fatalf("admission queue not drained: %d", len(s.admission))
 	}
 }
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# load_smoke.sh — end-to-end validation of simserved under open-loop load.
+#
+# Boots simserved with one warmed pair, then drives it with cmd/loadgen at
+# one operating point per serving tier and lets loadgen's own -assert-*
+# flags close the loop against the paper's queueing assumptions:
+#
+#   analytical point  poisson arrivals; asserts the offered rate was
+#                     sustained, the achieved CV² matches the configured
+#                     process (Poisson ⇒ CV² ≈ 1), the p99 stays under the
+#                     fast-path bound, and the latency-vs-load fit against
+#                     T = 1/(μ−λ) holds below saturation.
+#   simulation point  constant low rate at a cold pair; asserts the tier
+#                     header says "simulation" and latency stays sane
+#                     (first request simulates, the rest are cache hits
+#                     that still report the slow tier).
+#
+# The per-request NDJSON logs land in $OUT_DIR for artifact upload.
+#
+# Environment:
+#   SIMSERVED  path to a prebuilt simserved (default: build ./cmd/simserved)
+#   LOADGEN    path to a prebuilt loadgen   (default: build ./cmd/loadgen)
+#   ADDR       listen address (default localhost:18089)
+#   OUT_DIR    NDJSON log directory (default ./load-smoke-artifacts)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-localhost:18089}
+OUT_DIR=${OUT_DIR:-load-smoke-artifacts}
+mkdir -p "$OUT_DIR"
+
+SERVER_BIN=${SIMSERVED:-}
+if [ -z "$SERVER_BIN" ]; then
+  SERVER_BIN=$(mktemp -d)/simserved
+  go build -o "$SERVER_BIN" ./cmd/simserved
+fi
+LOADGEN_BIN=${LOADGEN:-}
+if [ -z "$LOADGEN_BIN" ]; then
+  LOADGEN_BIN=$(mktemp -d)/loadgen
+  go build -o "$LOADGEN_BIN" ./cmd/loadgen
+fi
+
+"$SERVER_BIN" -addr "$ADDR" -scale 0.1 -warm IntelUMA8/CG.W &
+SERVER_PID=$!
+STATUS=1
+cleanup() {
+  kill -9 "$SERVER_PID" 2>/dev/null || true
+  exit "$STATUS"
+}
+trap cleanup EXIT
+
+echo "== waiting for /healthz on $ADDR (warm-up simulates 3 anchors)"
+for _ in $(seq 1 120); do
+  if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server exited during warm-up" >&2
+    exit 1
+  fi
+  sleep 1
+done
+
+echo "== analytical point: poisson 80 rps for 15s against the warmed pair"
+"$LOADGEN_BIN" -url "http://$ADDR" \
+  -machine IntelUMA8 -program CG -class W -cores 3 \
+  -mode poisson -rps 80 -duration 15s -seed 7 -conns 16 \
+  -tenant load-smoke \
+  -expect-tier analytical \
+  -assert-rps-tol 0.10 \
+  -assert-cv2-tol 0.20 \
+  -assert-p99 50ms \
+  -assert-fit-err 0.25 \
+  -out "$OUT_DIR/analytical.ndjson"
+
+echo "== simulation point: const 4 rps for 10s against a cold pair"
+"$LOADGEN_BIN" -url "http://$ADDR" \
+  -machine IntelUMA8 -program EP -class W -cores 4 \
+  -mode const -rps 4 -duration 10s -seed 7 \
+  -tenant load-smoke \
+  -expect-tier simulation \
+  -assert-rps-tol 0.15 \
+  -assert-p99 5s \
+  -out "$OUT_DIR/simulation.ndjson"
+
+echo "== NDJSON logs are well-formed and complete"
+for f in analytical simulation; do
+  lines=$(wc -l < "$OUT_DIR/$f.ndjson")
+  echo "$f.ndjson: $lines records"
+  test "$lines" -ge 10
+  head -1 "$OUT_DIR/$f.ndjson" | grep -q '"seq":0'
+  head -1 "$OUT_DIR/$f.ndjson" | grep -q '"tier":'
+done
+
+echo "== server survived the load: healthz still ok, queue drained"
+HEALTH=$(curl -sf "http://$ADDR/healthz")
+echo "healthz: $HEALTH"
+echo "$HEALTH" | grep -q '"status":"ok"'
+echo "$HEALTH" | grep -q '"queue_depth":0'
+
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID" || true
+
+echo "PASS: load smoke"
+STATUS=0
