@@ -8,7 +8,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check build vet lint lint-extra test short race bench microbench artifacts-fast serve serve-smoke load-smoke docs-check clean
+.PHONY: check build vet lint lint-extra test short race bench microbench artifacts-fast serve serve-smoke load-smoke trace-smoke docs-check clean
 
 ## check: the tier-1 gate — vet, lint (simcheck), build, race-enabled tests.
 check: vet lint build race
@@ -48,8 +48,10 @@ short:
 	$(GO) test -short ./...
 
 ## race: full test suite under the race detector (the Runner is concurrent).
+## The golden sweeps in the root package exceed go test's default 10m
+## timeout under -race on a single-core box, so raise it explicitly.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 ## bench: the tracked benchmark suite. Regenerates BENCH.json and fails if
 ## any benchmark regressed >20% ns/op against the committed baseline (fresh
@@ -91,6 +93,13 @@ serve-smoke:
 ## job; docs/LOADGEN.md explains how to read the report.
 load-smoke:
 	scripts/load_smoke.sh
+
+## trace-smoke: two self-served load points with tracing on, then
+## cmd/traceview rebuilds the client+server waterfalls and gates trace
+## completeness, client/server join coverage and the analytical p99 SLO.
+## CI runs this in the trace job; docs/TRACING.md explains the output.
+trace-smoke:
+	scripts/trace_smoke.sh
 
 ## docs-check: grep fenced sh blocks in README/EXPERIMENTS/docs for
 ## commands, flags and make targets that no longer exist, so the docs

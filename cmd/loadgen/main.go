@@ -140,6 +140,7 @@ func main() {
 		Schedule: sched,
 		Tenant:   *tenant,
 		Conns:    *conns,
+		Seed:     common.Seed,
 		Tracer:   tracer,
 	})
 	if runErr != nil && len(records) == 0 {

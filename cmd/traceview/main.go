@@ -1,0 +1,669 @@
+// Command traceview reconstructs per-request waterfalls from span NDJSON
+// logs (internal/telemetry span.end records) and gates CI on them.
+//
+// It reads one or more span files — typically the server's -trace-out and,
+// in loadgen -self runs, the combined client+server file — rebuilds each
+// trace's span tree, classifies the server phases into the paper's
+// queue-wait vs service decomposition (admission/queue-wait, model, sim
+// execute, serve), and optionally joins the trees against a loadgen NDJSON
+// request log by trace ID to compare the server's accounting with the
+// client-observed latency.
+//
+// Offsets inside one file share that file's tracer epoch; offsets from
+// different files (e.g. loadgen's clock vs simserved's) are NOT comparable,
+// so every cross-file statement traceview makes is about durations, never
+// about absolute offsets.
+//
+// Gates (all exit non-zero on failure, for CI):
+//
+//	-assert-complete   every trace must form a well-formed tree (and, with
+//	                   -load, every 2xx record must join a server tree)
+//	-assert-join F     joined traces must have unaccounted client time
+//	                   <= F*total + -join-slack, for >= -join-pass of them
+//	-slo-p99 D         p99 (client latency with -load, else server span
+//	                   duration) must be <= D; reports the burn rate
+//	-require-tiers T   comma list; each tier must appear among passing traces
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/telemetry"
+)
+
+// span is one span.end record.
+type span struct {
+	Name    string
+	Trace   string
+	SpanID  string
+	Parent  string
+	StartUs float64
+	EndUs   float64
+	File    int // index of the input file (one timebase per file)
+	Status  int
+	Tier    string
+}
+
+func (s *span) durUs() float64 { return s.EndUs - s.StartUs }
+
+// trace is every span sharing one trace ID, across files.
+type trace struct {
+	id    string
+	spans []*span
+	byID  map[string]*span
+	// client is the load.request root span (when the client's span file
+	// was given); server is the server.request root.
+	client *span
+	server *span
+}
+
+// children returns p's child spans from the same file, by start offset.
+func (t *trace) children(p *span) []*span {
+	var out []*span
+	for _, s := range t.spans {
+		if s.Parent == p.SpanID && s.File == p.File && s != p {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartUs < out[j].StartUs })
+	return out
+}
+
+// parseSpans reads span.end records from one NDJSON stream, ignoring every
+// other event type (the span log is interleaved with fit/decline/request
+// events when the server shares one -trace-out).
+func parseSpans(r io.Reader, file int) ([]*span, error) {
+	var spans []*span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec struct {
+			Event   string  `json:"event"`
+			Name    string  `json:"name"`
+			Trace   string  `json:"trace"`
+			Span    string  `json:"span"`
+			Parent  string  `json:"parent"`
+			StartUs float64 `json:"start_us"`
+			EndUs   float64 `json:"end_us"`
+			Status  int     `json:"status"`
+			Tier    string  `json:"tier"`
+		}
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		if rec.Event != "span.end" {
+			continue
+		}
+		if rec.Name == "" || rec.Trace == "" || rec.Span == "" {
+			return nil, fmt.Errorf("line %d: span.end missing name/trace/span", line)
+		}
+		spans = append(spans, &span{
+			Name: rec.Name, Trace: rec.Trace, SpanID: rec.Span, Parent: rec.Parent,
+			StartUs: rec.StartUs, EndUs: rec.EndUs, File: file,
+			Status: rec.Status, Tier: rec.Tier,
+		})
+	}
+	return spans, sc.Err()
+}
+
+// buildTraces groups spans by trace ID and locates each trace's roots.
+func buildTraces(spans []*span) map[string]*trace {
+	traces := make(map[string]*trace)
+	for _, s := range spans {
+		t := traces[s.Trace]
+		if t == nil {
+			t = &trace{id: s.Trace, byID: make(map[string]*span)}
+			traces[s.Trace] = t
+		}
+		t.spans = append(t.spans, s)
+		t.byID[s.SpanID] = s
+		switch s.Name {
+		case "load.request":
+			t.client = s
+		case "server.request":
+			t.server = s
+		}
+	}
+	return traces
+}
+
+// problems returns everything structurally wrong with the trace tree;
+// empty means complete. Parents are allowed to be missing only for root
+// spans (load.request, and server.request whose parent lives in the
+// client's file or was generated client-side).
+func (t *trace) problems() []string {
+	var out []string
+	if t.server == nil {
+		out = append(out, "no server.request span")
+	}
+	serverCount, clientCount := 0, 0
+	for _, s := range t.spans {
+		if s.Name == "server.request" {
+			serverCount++
+		}
+		if s.Name == "load.request" {
+			clientCount++
+		}
+		if s.EndUs < s.StartUs {
+			out = append(out, fmt.Sprintf("%s ends before it starts", s.Name))
+		}
+		if s.Parent == "" || s.Name == "server.request" || s.Name == "load.request" {
+			continue
+		}
+		p, ok := t.byID[s.Parent]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s has dangling parent %s", s.Name, s.Parent))
+			continue
+		}
+		if p.File == s.File && (s.StartUs < p.StartUs || s.EndUs > p.EndUs) {
+			out = append(out, fmt.Sprintf("%s extends outside its parent %s", s.Name, p.Name))
+		}
+	}
+	if serverCount > 1 {
+		out = append(out, fmt.Sprintf("%d server.request spans", serverCount))
+	}
+	if clientCount > 1 {
+		out = append(out, fmt.Sprintf("%d load.request spans", clientCount))
+	}
+	return out
+}
+
+// breakdown is one request's critical-path decomposition in microseconds,
+// the serving-layer analogue of the paper's queueing vs service split.
+type breakdown struct {
+	rootUs    float64 // server.request duration
+	queueUs   float64 // server.admit + runner.queue_wait + runner.dedup_wait
+	modelUs   float64 // server.model + model.refit
+	simUs     float64 // runner.execute (the simulation itself)
+	serveUs   float64 // server.parse + server.respond + rest of server.sim
+	otherUs   float64 // root time outside every phase span
+	coveredUs float64 // sum of the sequential phase spans
+}
+
+// analyze decomposes one trace's server tree. The handler phases
+// (parse/model/admit/sim/respond) tile the root without overlapping, so
+// coveredUs is their plain sum; the runner spans and model.refit overlap
+// server.sim and are reported as its inner decomposition rather than
+// re-added.
+func analyze(t *trace) breakdown {
+	var bd breakdown
+	if t.server == nil {
+		return bd
+	}
+	bd.rootUs = t.server.durUs()
+	var simPhaseUs float64
+	var simInnerUs float64
+	for _, s := range t.spans {
+		if s.File != t.server.File {
+			continue
+		}
+		switch s.Name {
+		case "server.parse", "server.respond":
+			bd.serveUs += s.durUs()
+			bd.coveredUs += s.durUs()
+		case "server.model":
+			bd.modelUs += s.durUs()
+			bd.coveredUs += s.durUs()
+		case "server.admit":
+			bd.queueUs += s.durUs()
+			bd.coveredUs += s.durUs()
+		case "server.sim":
+			simPhaseUs += s.durUs()
+			bd.coveredUs += s.durUs()
+		case "runner.queue_wait", "runner.dedup_wait":
+			bd.queueUs += s.durUs()
+			simInnerUs += s.durUs()
+		case "runner.execute":
+			bd.simUs += s.durUs()
+			simInnerUs += s.durUs()
+		case "model.refit":
+			bd.modelUs += s.durUs()
+			simInnerUs += s.durUs()
+		}
+	}
+	// The part of server.sim not inside a runner/refit span is serving
+	// overhead (cache lookups, result assembly).
+	if rest := simPhaseUs - simInnerUs; rest > 0 {
+		bd.serveUs += rest
+	}
+	bd.otherUs = bd.rootUs - bd.coveredUs
+	return bd
+}
+
+// joined is one loadgen record matched to its server trace.
+type joined struct {
+	rec           load.Record
+	tr            *trace
+	bd            breakdown
+	clientUs      float64
+	unaccountedUs float64
+	pass          bool
+}
+
+// msBounds is the histogram grid for RED quantiles: roughly logarithmic
+// from the analytical tier's microseconds to multi-minute simulations, so
+// Quantile's within-bucket interpolation stays tight at every tier.
+var msBounds = []float64{
+	0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1000, 2000, 5000, 10000, 20000, 60000, 120000, 300000,
+}
+
+func quantiles(values []float64) (p50, p90, p99 float64) {
+	h := telemetry.NewHistogram(msBounds...)
+	for _, v := range values {
+		h.Observe(v)
+	}
+	return h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		loadPath       = fs.String("load", "", "loadgen NDJSON request log to join by trace ID")
+		sloP99         = fs.Duration("slo-p99", 0, "p99 latency SLO to gate on (0 disables)")
+		sloTier        = fs.String("slo-tier", "", "restrict the -slo-p99 gate to this tier (empty = all)")
+		assertComplete = fs.Bool("assert-complete", false, "fail unless every trace tree is complete (and joins, with -load)")
+		assertJoin     = fs.Float64("assert-join", 0, "fail unless server segments cover client latency within this fraction (0 disables)")
+		joinSlack      = fs.Duration("join-slack", time.Millisecond, "absolute slack added to the -assert-join bound (network/HTTP floor)")
+		joinPass       = fs.Float64("join-pass", 0.9, "fraction of joined traces that must pass -assert-join")
+		requireTiers   = fs.String("require-tiers", "", "comma-separated tiers that must appear among complete traces")
+		waterfalls     = fs.Int("waterfall", 1, "print waterfalls for the N slowest traces (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "traceview: at least one span NDJSON file required")
+		fs.Usage()
+		return 2
+	}
+
+	var spans []*span
+	for i, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "traceview: %v\n", err)
+			return 2
+		}
+		fileSpans, err := parseSpans(f, i)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "traceview: %s: %v\n", path, err)
+			return 2
+		}
+		spans = append(spans, fileSpans...)
+	}
+	traces := buildTraces(spans)
+	fmt.Fprintf(stdout, "traceview: %d spans, %d traces from %d file(s)\n",
+		len(spans), len(traces), fs.NArg())
+
+	failed := false
+
+	// Completeness over every trace that has any server-side presence.
+	complete := make(map[string]*trace, len(traces))
+	var incomplete int
+	for id, t := range traces {
+		if probs := t.problems(); len(probs) > 0 {
+			incomplete++
+			if *assertComplete {
+				fmt.Fprintf(stdout, "INCOMPLETE %s: %s\n", id, strings.Join(probs, "; "))
+			}
+			continue
+		}
+		complete[id] = t
+	}
+	fmt.Fprintf(stdout, "complete traces: %d/%d\n", len(complete), len(traces))
+	if *assertComplete && incomplete > 0 {
+		fmt.Fprintf(stdout, "FAIL assert-complete: %d incomplete trace(s)\n", incomplete)
+		failed = true
+	}
+
+	// Join against the loadgen log.
+	var joins []joined
+	var records []load.Record
+	if *loadPath != "" {
+		var err error
+		records, err = readRecords(*loadPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "traceview: %v\n", err)
+			return 2
+		}
+		var unjoined int
+		slackUs := float64(joinSlack.Microseconds())
+		for _, rec := range records {
+			if rec.Status < 200 || rec.Status >= 300 || rec.TraceID == "" {
+				continue
+			}
+			t, ok := complete[rec.TraceID]
+			if !ok {
+				unjoined++
+				continue
+			}
+			bd := analyze(t)
+			j := joined{rec: rec, tr: t, bd: bd, clientUs: rec.TotalMs * 1000}
+			j.unaccountedUs = j.clientUs - bd.coveredUs
+			tol := *assertJoin
+			if tol == 0 {
+				tol = 0.05 // reporting tolerance when the gate is off
+			}
+			j.pass = j.unaccountedUs <= tol*j.clientUs+slackUs
+			joins = append(joins, j)
+		}
+		passCount := 0
+		for _, j := range joins {
+			if j.pass {
+				passCount++
+			}
+		}
+		fmt.Fprintf(stdout, "joined %d/%d 2xx records to complete server traces (%d unjoined)\n",
+			len(joins), len(joins)+unjoined, unjoined)
+		if len(joins) > 0 {
+			var unacc []float64
+			for _, j := range joins {
+				unacc = append(unacc, j.unaccountedUs/1000)
+			}
+			u50, _, u99 := quantiles(unacc)
+			fmt.Fprintf(stdout, "unaccounted client time: p50 %.2fms p99 %.2fms; %d/%d within bound\n",
+				u50, u99, passCount, len(joins))
+		}
+		if *assertComplete && unjoined > 0 {
+			fmt.Fprintf(stdout, "FAIL assert-complete: %d 2xx record(s) did not join a server trace\n", unjoined)
+			failed = true
+		}
+		if *assertJoin > 0 {
+			if len(joins) == 0 {
+				fmt.Fprintln(stdout, "FAIL assert-join: no joined traces")
+				failed = true
+			} else if rate := float64(passCount) / float64(len(joins)); rate < *joinPass {
+				fmt.Fprintf(stdout, "FAIL assert-join: only %.0f%% of joined traces within %.0f%%+%s of client latency (need %.0f%%)\n",
+					rate*100, *assertJoin*100, joinSlack, *joinPass*100)
+				failed = true
+			}
+		}
+	}
+
+	// RED summary + SLO gate.
+	type redRow struct {
+		tier   string
+		count  int       // requests seen (errors included)
+		values []float64 // latency ms (transport failures have none)
+		errs   int
+	}
+	rows := map[string]*redRow{}
+	rowFor := func(tier string) *redRow {
+		r := rows[tier]
+		if r == nil {
+			r = &redRow{tier: tier}
+			rows[tier] = r
+		}
+		return r
+	}
+	var window float64 // seconds
+	if records != nil {
+		for _, rec := range records {
+			tier := rec.Tier
+			if tier == "" {
+				tier = "(none)"
+			}
+			r := rowFor(tier)
+			r.count++
+			if rec.Status < 200 || rec.Status >= 300 {
+				r.errs++
+			}
+			if rec.Status != 0 {
+				r.values = append(r.values, rec.TotalMs)
+			}
+			if end := (rec.SendMs + rec.TotalMs) / 1000; end > window {
+				window = end
+			}
+		}
+	} else {
+		// No client log: RED over server.request spans. Rate needs a shared
+		// clock, so the window comes from the file with the most roots.
+		perFile := map[int][2]float64{}
+		counts := map[int]int{}
+		for _, t := range complete {
+			s := t.server
+			r := rowFor(tierOf(s))
+			r.count++
+			if s.Status < 200 || s.Status >= 300 {
+				r.errs++
+			}
+			r.values = append(r.values, s.durUs()/1000)
+			lohi, ok := perFile[s.File]
+			if !ok {
+				lohi = [2]float64{s.StartUs, s.EndUs}
+			}
+			lohi[0] = math.Min(lohi[0], s.StartUs)
+			lohi[1] = math.Max(lohi[1], s.EndUs)
+			perFile[s.File] = lohi
+			counts[s.File]++
+		}
+		best := -1
+		for f, n := range counts {
+			if best == -1 || n > counts[best] {
+				best = f
+			}
+		}
+		if best >= 0 {
+			window = (perFile[best][1] - perFile[best][0]) / 1e6
+		}
+	}
+	source := "server spans"
+	if records != nil {
+		source = "client records"
+	}
+	fmt.Fprintf(stdout, "\n== RED summary (%s) ==\n", source)
+	fmt.Fprintf(stdout, "%-12s %7s %5s %9s %9s %9s %9s\n", "tier", "count", "err", "rate_rps", "p50_ms", "p90_ms", "p99_ms")
+	var tierNames []string
+	for tier := range rows {
+		tierNames = append(tierNames, tier)
+	}
+	sort.Strings(tierNames)
+	for _, tier := range tierNames {
+		r := rows[tier]
+		rate := 0.0
+		if window > 0 {
+			rate = float64(r.count) / window
+		}
+		p50, p90, p99 := quantiles(r.values)
+		fmt.Fprintf(stdout, "%-12s %7d %5d %9.1f %9.3f %9.3f %9.3f\n",
+			tier, r.count, r.errs, rate, p50, p90, p99)
+	}
+
+	if *sloP99 > 0 {
+		target := float64(sloP99.Microseconds()) / 1000
+		var pop []float64
+		for tier, r := range rows {
+			if *sloTier != "" && tier != *sloTier {
+				continue
+			}
+			pop = append(pop, r.values...)
+		}
+		scope := "all tiers"
+		if *sloTier != "" {
+			scope = "tier " + *sloTier
+		}
+		if len(pop) == 0 {
+			fmt.Fprintf(stdout, "FAIL slo-p99: no observations for %s\n", scope)
+			failed = true
+		} else {
+			h := telemetry.NewHistogram(msBounds...)
+			violations := 0
+			for _, v := range pop {
+				h.Observe(v)
+				if v > target {
+					violations++
+				}
+			}
+			p99 := h.Quantile(0.99)
+			// Burn rate: observed violation mass over the 1% an SLO at p99
+			// budgets; 1.0 means exactly on budget.
+			burn := float64(violations) / (0.01 * float64(len(pop)))
+			fmt.Fprintf(stdout, "\nSLO p99 <= %s over %s: p99 %.3fms, %d/%d over target, burn rate %.2fx\n",
+				sloP99, scope, p99, violations, len(pop), burn)
+			if p99 > target {
+				fmt.Fprintf(stdout, "FAIL slo-p99: p99 %.3fms > %s\n", p99, sloP99)
+				failed = true
+			}
+		}
+	}
+
+	if *requireTiers != "" {
+		have := map[string]bool{}
+		if len(joins) > 0 {
+			for _, j := range joins {
+				if j.pass {
+					have[j.rec.Tier] = true
+				}
+			}
+		} else {
+			for _, t := range complete {
+				have[tierOf(t.server)] = true
+			}
+		}
+		for _, tier := range strings.Split(*requireTiers, ",") {
+			tier = strings.TrimSpace(tier)
+			if tier != "" && !have[tier] {
+				fmt.Fprintf(stdout, "FAIL require-tiers: no passing %s-tier trace\n", tier)
+				failed = true
+			}
+		}
+	}
+
+	if *waterfalls > 0 {
+		printWaterfalls(stdout, complete, joins, *waterfalls)
+	}
+
+	if failed {
+		fmt.Fprintln(stdout, "\ntraceview: FAIL")
+		return 1
+	}
+	fmt.Fprintln(stdout, "\ntraceview: ok")
+	return 0
+}
+
+func tierOf(s *span) string {
+	if s == nil || s.Tier == "" {
+		return "(none)"
+	}
+	return s.Tier
+}
+
+// readRecords loads a loadgen NDJSON request log.
+func readRecords(path string) ([]load.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var records []load.Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var rec load.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		records = append(records, rec)
+	}
+	return records, sc.Err()
+}
+
+// printWaterfalls renders the N slowest traces (by client latency when
+// joined, else by server root duration) as indented span trees with
+// duration bars scaled to the root.
+func printWaterfalls(w io.Writer, complete map[string]*trace, joins []joined, n int) {
+	type item struct {
+		t        *trace
+		clientMs float64 // 0 when not joined
+		sortMs   float64
+	}
+	var items []item
+	if len(joins) > 0 {
+		for _, j := range joins {
+			items = append(items, item{t: j.tr, clientMs: j.rec.TotalMs, sortMs: j.rec.TotalMs})
+		}
+	} else {
+		for _, t := range complete {
+			items = append(items, item{t: t, sortMs: t.server.durUs() / 1000})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].sortMs > items[j].sortMs })
+	if len(items) > n {
+		items = items[:n]
+	}
+	for _, it := range items {
+		t := it.t
+		fmt.Fprintf(w, "\ntrace %s  status=%d tier=%s", t.id, t.server.Status, tierOf(t.server))
+		if it.clientMs > 0 {
+			bd := analyze(t)
+			fmt.Fprintf(w, "  client=%.3fms server=%.3fms unaccounted=%.3fms",
+				it.clientMs, bd.rootUs/1000, it.clientMs-bd.coveredUs/1000)
+		}
+		fmt.Fprintln(w)
+		if t.client != nil {
+			printSpanTree(w, t, t.client, t.client, 1)
+		}
+		// When client and server spans share one tracer (loadgen -self) the
+		// server tree already rendered nested under load.request. Otherwise
+		// it renders standalone, in its own timebase: cross-file offsets are
+		// not comparable, so its bars are relative to server.request itself.
+		nested := t.client != nil && t.server.Parent == t.client.SpanID && t.server.File == t.client.File
+		if !nested {
+			printSpanTree(w, t, t.server, t.server, 1)
+		}
+	}
+}
+
+const barWidth = 40
+
+func printSpanTree(w io.Writer, t *trace, s, base *span, depth int) {
+	bar := strings.Repeat(" ", barWidth)
+	if base.durUs() > 0 && s.File == base.File {
+		lo := int(float64(barWidth) * (s.StartUs - base.StartUs) / base.durUs())
+		hi := int(math.Ceil(float64(barWidth) * (s.EndUs - base.StartUs) / base.durUs()))
+		lo = clamp(lo, 0, barWidth)
+		hi = clamp(hi, lo+1, barWidth)
+		bar = strings.Repeat(" ", lo) + strings.Repeat("#", hi-lo) + strings.Repeat(" ", barWidth-hi)
+	}
+	fmt.Fprintf(w, "%-34s %10.3fms |%s|\n",
+		strings.Repeat("  ", depth)+s.Name, s.durUs()/1000, bar)
+	for _, c := range t.children(s) {
+		printSpanTree(w, t, c, base, depth+1)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,320 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// line renders one span.end NDJSON record the way telemetry.Span.End does.
+func line(name, trace, span, parent string, startUs, endUs float64, attrs map[string]any) string {
+	rec := map[string]any{
+		"event": "span.end", "name": name, "trace": trace, "span": span,
+		"start_us": startUs, "end_us": endUs,
+	}
+	if parent != "" {
+		rec["parent"] = parent
+	}
+	for k, v := range attrs {
+		rec[k] = v
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// serverTrace renders a complete simulation-tier server tree: request from
+// startUs to endUs with the bulk spent inside server.sim/runner.execute.
+func serverTrace(trace string, startUs, endUs float64, tier string) []string {
+	root := "00000000000000aa"
+	dur := endUs - startUs
+	simStart := startUs + 0.10*dur
+	simEnd := endUs - 0.05*dur
+	return []string{
+		line("server.request", trace, root, "", startUs, endUs,
+			map[string]any{"status": 200, "tier": tier}),
+		line("server.parse", trace, "00000000000000ab", root, startUs, startUs+0.02*dur, nil),
+		line("server.model", trace, "00000000000000ac", root, startUs+0.02*dur, startUs+0.05*dur, nil),
+		line("server.admit", trace, "00000000000000ad", root, startUs+0.05*dur, startUs+0.10*dur, nil),
+		line("server.sim", trace, "00000000000000ae", root, simStart, simEnd, nil),
+		line("runner.queue_wait", trace, "00000000000000af", root, simStart, simStart+0.10*dur, nil),
+		line("runner.execute", trace, "00000000000000b0", root, simStart+0.10*dur, simEnd-0.05*dur, nil),
+		line("server.respond", trace, "00000000000000b1", root, simEnd, endUs, nil),
+	}
+}
+
+func writeFile(t *testing.T, name string, lines []string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runMain(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	t.Logf("exit %d\n%s%s", code, out.String(), errb.String())
+	return code, out.String() + errb.String()
+}
+
+func TestParseSpansSkipsOtherEvents(t *testing.T) {
+	input := strings.Join([]string{
+		`{"event":"load.start","url":"x"}`,
+		line("server.request", "t1", "s1", "", 0, 100, map[string]any{"status": 200, "tier": "analytical"}),
+		``,
+		`{"event":"model.fit","r2":0.99}`,
+		line("server.parse", "t1", "s2", "s1", 0, 10, nil),
+	}, "\n")
+	spans, err := parseSpans(strings.NewReader(input), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Status != 200 || spans[0].Tier != "analytical" {
+		t.Errorf("root attrs not captured: %+v", spans[0])
+	}
+	if spans[1].Parent != "s1" || spans[1].durUs() != 10 {
+		t.Errorf("child span wrong: %+v", spans[1])
+	}
+}
+
+func TestParseSpansRejectsMalformed(t *testing.T) {
+	if _, err := parseSpans(strings.NewReader("{not json"), 0); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := parseSpans(strings.NewReader(`{"event":"span.end","name":"x"}`), 0); err == nil {
+		t.Error("span.end without trace/span accepted")
+	}
+}
+
+func TestProblems(t *testing.T) {
+	good := buildTraces(mustParse(t, serverTrace("t1", 0, 1000, "simulation")))["t1"]
+	if probs := good.problems(); len(probs) != 0 {
+		t.Errorf("complete trace reported problems: %v", probs)
+	}
+
+	dangling := mustParse(t, []string{
+		line("server.request", "t2", "r", "", 0, 100, nil),
+		line("server.parse", "t2", "p", "nosuch", 0, 10, nil),
+	})
+	if probs := buildTraces(dangling)["t2"].problems(); len(probs) == 0 {
+		t.Error("dangling parent not reported")
+	}
+
+	noRoot := mustParse(t, []string{line("server.parse", "t3", "p", "", 0, 10, nil)})
+	if probs := buildTraces(noRoot)["t3"].problems(); len(probs) == 0 {
+		t.Error("missing server.request not reported")
+	}
+
+	outside := mustParse(t, []string{
+		line("server.request", "t4", "r", "", 0, 100, nil),
+		line("server.parse", "t4", "p", "r", 50, 150, nil),
+	})
+	if probs := buildTraces(outside)["t4"].problems(); len(probs) == 0 {
+		t.Error("child extending outside parent not reported")
+	}
+}
+
+func mustParse(t *testing.T, lines []string) []*span {
+	t.Helper()
+	spans, err := parseSpans(strings.NewReader(strings.Join(lines, "\n")), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spans
+}
+
+// TestAnalyze checks the critical-path decomposition: the phase spans tile
+// into covered time, the runner spans land in queue/sim, and the slice of
+// server.sim outside them counts as serving overhead.
+func TestAnalyze(t *testing.T) {
+	tr := buildTraces(mustParse(t, serverTrace("t1", 0, 1000, "simulation")))["t1"]
+	bd := analyze(tr)
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-6 }
+	if !approx(bd.rootUs, 1000) {
+		t.Errorf("rootUs = %g", bd.rootUs)
+	}
+	// parse 20 + model 30 + admit 50 + sim 850 + respond 50 = 1000
+	if !approx(bd.coveredUs, 1000) {
+		t.Errorf("coveredUs = %g, want 1000", bd.coveredUs)
+	}
+	if !approx(bd.queueUs, 50+100) { // admit + runner.queue_wait
+		t.Errorf("queueUs = %g, want 150", bd.queueUs)
+	}
+	if !approx(bd.simUs, 700) { // runner.execute
+		t.Errorf("simUs = %g, want 700", bd.simUs)
+	}
+	// serve = parse 20 + respond 50 + (sim 850 − queue_wait 100 − execute 700)
+	if !approx(bd.serveUs, 20+50+50) {
+		t.Errorf("serveUs = %g, want 120", bd.serveUs)
+	}
+	if !approx(bd.otherUs, 0) {
+		t.Errorf("otherUs = %g, want 0", bd.otherUs)
+	}
+}
+
+func loadLine(seq int, trace string, totalMs float64, status int, tier string) string {
+	return fmt.Sprintf(`{"seq":%d,"scheduled_ms":0,"send_ms":%d,"first_byte_ms":%g,"total_ms":%g,"status":%d,"tier":%q,"trace_id":%q}`,
+		seq, seq*10, totalMs, totalMs, status, tier, trace)
+}
+
+// TestRunJoinPass: server accounts for nearly all of the client latency, so
+// the join and completeness gates pass and the exit code is 0.
+func TestRunJoinPass(t *testing.T) {
+	var spans []string
+	var recs []string
+	for i := 0; i < 5; i++ {
+		trace := fmt.Sprintf("%032d", i+1)
+		spans = append(spans, serverTrace(trace, 0, 2000, "simulation")...) // 2ms server
+		recs = append(recs, loadLine(i, trace, 2.1, 200, "simulation"))     // 2.1ms client
+	}
+	spanPath := writeFile(t, "spans.ndjson", spans)
+	loadPath := writeFile(t, "load.ndjson", recs)
+	code, out := runMain(t, "-load", loadPath, "-assert-complete", "-assert-join", "0.05",
+		"-join-slack", "1ms", "-require-tiers", "simulation", spanPath)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "joined 5/5") {
+		t.Errorf("join summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "traceview: ok") {
+		t.Errorf("ok line missing:\n%s", out)
+	}
+}
+
+// TestRunJoinFail: client latency far exceeds what the server accounts for
+// (e.g. the span log belongs to a different run), so -assert-join trips.
+func TestRunJoinFail(t *testing.T) {
+	var spans []string
+	var recs []string
+	for i := 0; i < 5; i++ {
+		trace := fmt.Sprintf("%032d", i+1)
+		spans = append(spans, serverTrace(trace, 0, 2000, "simulation")...) // 2ms server
+		recs = append(recs, loadLine(i, trace, 50, 200, "simulation"))      // 50ms client
+	}
+	spanPath := writeFile(t, "spans.ndjson", spans)
+	loadPath := writeFile(t, "load.ndjson", recs)
+	code, out := runMain(t, "-load", loadPath, "-assert-join", "0.05", "-join-slack", "1ms", spanPath)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL assert-join") {
+		t.Errorf("assert-join failure missing:\n%s", out)
+	}
+}
+
+// TestRunAssertCompleteUnjoined: a 2xx record whose trace has no server
+// spans fails -assert-complete.
+func TestRunAssertCompleteUnjoined(t *testing.T) {
+	spans := serverTrace(strings.Repeat("1", 32), 0, 1000, "analytical")
+	recs := []string{
+		loadLine(0, strings.Repeat("1", 32), 1.1, 200, "analytical"),
+		loadLine(1, strings.Repeat("2", 32), 1.1, 200, "analytical"), // no spans
+	}
+	spanPath := writeFile(t, "spans.ndjson", spans)
+	loadPath := writeFile(t, "load.ndjson", recs)
+	code, out := runMain(t, "-load", loadPath, "-assert-complete", spanPath)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "did not join") {
+		t.Errorf("unjoined failure missing:\n%s", out)
+	}
+}
+
+// TestRunSLOGate: the p99 gate fails on slow observations, passes under a
+// generous target, and -slo-tier filters the population.
+func TestRunSLOGate(t *testing.T) {
+	var spans []string
+	var recs []string
+	for i := 0; i < 20; i++ {
+		trace := fmt.Sprintf("%032d", i+1)
+		tier, totalMs := "analytical", 1.0
+		if i == 0 { // one slow simulation-tier outlier
+			tier, totalMs = "simulation", 400.0
+		}
+		spans = append(spans, serverTrace(trace, 0, totalMs*1000, tier)...)
+		recs = append(recs, loadLine(i, trace, totalMs, 200, tier))
+	}
+	spanPath := writeFile(t, "spans.ndjson", spans)
+	loadPath := writeFile(t, "load.ndjson", recs)
+
+	// Unfiltered: the 400ms outlier lands inside the top 1% and trips 50ms.
+	code, out := runMain(t, "-load", loadPath, "-slo-p99", "50ms", spanPath)
+	if code != 1 || !strings.Contains(out, "FAIL slo-p99") {
+		t.Fatalf("unfiltered gate: exit %d\n%s", code, out)
+	}
+	// Filtered to the analytical tier it passes.
+	code, out = runMain(t, "-load", loadPath, "-slo-p99", "50ms", "-slo-tier", "analytical", spanPath)
+	if code != 0 {
+		t.Fatalf("filtered gate: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "burn rate") {
+		t.Errorf("burn-rate line missing:\n%s", out)
+	}
+}
+
+// TestRunServerOnly: no -load file — RED comes from server.request spans
+// and the SLO gate runs over span durations.
+func TestRunServerOnly(t *testing.T) {
+	var spans []string
+	for i := 0; i < 10; i++ {
+		trace := fmt.Sprintf("%032d", i+1)
+		spans = append(spans, serverTrace(trace, float64(i)*2000, float64(i)*2000+1500, "analytical")...)
+	}
+	// One 400: a bare root (parse failed), tier-less, counted once as an error.
+	spans = append(spans, line("server.request", strings.Repeat("e", 32), "ee00000000000000", "",
+		0, 500, map[string]any{"status": 400}))
+	spanPath := writeFile(t, "spans.ndjson", spans)
+	code, out := runMain(t, "-assert-complete", "-slo-p99", "10ms", "-waterfall", "1", spanPath)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "complete traces: 11/11") {
+		t.Errorf("completeness summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "server spans") || !strings.Contains(out, "analytical") {
+		t.Errorf("RED summary missing:\n%s", out)
+	}
+	// The 400 counts once (count 1, err 1), not twice.
+	if !regexp.MustCompile(`\(none\)\s+1\s+1\s`).MatchString(out) {
+		t.Errorf("tier-less 400 row wrong (want count 1 err 1):\n%s", out)
+	}
+	// Waterfall renders the tree with bars.
+	if !strings.Contains(out, "server.request") || !strings.Contains(out, "runner.execute") || !strings.Contains(out, "#") {
+		t.Errorf("waterfall missing:\n%s", out)
+	}
+}
+
+// TestRunRequireTiersFail: requiring a tier that never appears trips the gate.
+func TestRunRequireTiersFail(t *testing.T) {
+	spanPath := writeFile(t, "spans.ndjson", serverTrace(strings.Repeat("a", 32), 0, 1000, "analytical"))
+	code, out := runMain(t, "-require-tiers", "analytical,simulation", spanPath)
+	if code != 1 || !strings.Contains(out, "no passing simulation-tier trace") {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+}
+
+// TestRunUsageErrors: missing inputs exit 2, not 1.
+func TestRunUsageErrors(t *testing.T) {
+	if code, _ := runMain(t); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code, _ := runMain(t, filepath.Join(t.TempDir(), "nosuch.ndjson")); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}

@@ -15,13 +15,13 @@ func Use(t *telemetry.Tracer, r *telemetry.Registry, dyn string) {
 	t.Emit("server.request", "tier", "analytical")
 	t.Emit("model.fit", "r2", 1.0)
 	t.Emit("load.start", "rps", 100.0)
-	t.Emit(dyn)          // want `event name is computed at run time`
-	t.Emit("Runner.Span") // want `must match \(run\|runner\|sim\|eventq\|server\|model\|load\)`
-	t.Emit("other.event") // want `must match \(run\|runner\|sim\|eventq\|server\|model\|load\)`
+	t.Emit(dyn)           // want `event name is computed at run time`
+	t.Emit("Runner.Span") // want `must match \(run\|runner\|sim\|eventq\|server\|model\|load\|span\)`
+	t.Emit("other.event") // want `must match \(run\|runner\|sim\|eventq\|server\|model\|load\|span\)`
 
 	r.Counter("runner_sim_total").Inc()
-	r.Counter("runner_sim")       // want `must end in _total`
-	r.Counter("runner-sim_total") // want `lower_snake_case`
+	r.Counter("runner_sim")               // want `must end in _total`
+	r.Counter("runner-sim_total")         // want `lower_snake_case`
 	r.Counter("runner_" + dyn + "_total") // want `counter name is computed at run time`
 	_ = r.Gauge("sim_mc0_util")
 	_ = r.Gauge("simMcUtil") // want `must be lower_snake_case`
@@ -29,4 +29,42 @@ func Use(t *telemetry.Tracer, r *telemetry.Registry, dyn string) {
 
 	//simcheck:allow(tracelint) per-MC gauge family is indexed by controller id; prefix and suffix stay literal at this one site
 	_ = r.Gauge(seriesName(0))
+}
+
+type holder struct {
+	root telemetry.Span
+}
+
+// Spans exercises the StartSpan rules: literal namespaced names, and every
+// locally-held span must be ended in its function.
+func Spans(t *telemetry.Tracer, h *holder, dyn string) telemetry.Span {
+	parent := telemetry.SpanContext{}
+
+	ok := t.StartSpan(parent, "server.request")
+	defer ok.End("status", 200)
+
+	explicit := t.StartSpan(ok.Context(), "runner.queue_wait")
+	explicit.End()
+
+	closed := t.StartSpan(parent, "sim.replay")
+	defer func() { closed.End("done", true) }()
+
+	bad := t.StartSpan(parent, dyn) // want `span name is computed at run time`
+	bad.End()
+	worse := t.StartSpan(parent, "Other.Name") // want `must match \(run\|runner\|sim\|eventq\|server\|model\|load\|span\)`
+	worse.End()
+
+	t.StartSpan(parent, "server.admit")       // want `started and immediately discarded`
+	_ = t.StartSpanAt(parent, "load.request") // want `started and immediately discarded`
+
+	leaked := t.StartSpan(parent, "model.refit") // want `span leaked is never ended in this function`
+	_ = leaked
+
+	//simcheck:allow(tracelint) handed to a goroutine that ends it; lifetime checked by its own test
+	allowed := t.StartSpan(parent, "runner.execute")
+	_ = allowed
+
+	// Hand-offs are exempt: the owner ends them.
+	h.root = t.StartSpan(parent, "server.sim")
+	return t.StartSpan(parent, "server.respond")
 }

@@ -8,9 +8,17 @@
 // time. tracelint checks each call into internal/telemetry:
 //
 //   - Tracer.Emit's event name must be a literal matching
-//     (run|runner|sim|eventq|server|model|load).lower_snake[.more] — the
-//     namespaces registered in docs/ARCHITECTURE.md §6 (server and model
-//     belong to the serving layer, §9; load to the load harness)
+//     (run|runner|sim|eventq|server|model|load|span).lower_snake[.more] —
+//     the namespaces registered in docs/ARCHITECTURE.md §6 (server and
+//     model belong to the serving layer, §9; load to the load harness;
+//     span.end is the tracing record, docs/TRACING.md)
+//   - Tracer.StartSpan/StartSpanAt span names are event names too: same
+//     literal + namespace rule, so every span producer greps
+//   - a started span must be ended: a StartSpan result that is discarded
+//     outright, or bound to a local variable with no x.End(...) anywhere
+//     in the enclosing function, is a span that never emits. Handing the
+//     span off (field assignment, return value) is exempt — ownership
+//     moved, the End lives elsewhere
 //   - Registry.Counter/Gauge/Histogram names must be literal
 //     lower_snake_case; counters must end in _total (Prometheus
 //     convention, keeps rate() queries honest)
@@ -42,7 +50,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 var (
-	eventRE  = regexp.MustCompile(`^(run|runner|sim|eventq|server|model|load)\.[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+	eventRE  = regexp.MustCompile(`^(run|runner|sim|eventq|server|model|load|span)\.[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
 	metricRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
 )
 
@@ -70,7 +78,12 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			switch obj.Name() {
 			case "Emit":
 				checkName(pass, dir, call.Args[0], "event", eventRE,
-					"must match (run|runner|sim|eventq|server|model|load).lower_snake — the registered trace namespaces")
+					"must match (run|runner|sim|eventq|server|model|load|span).lower_snake — the registered trace namespaces")
+			case "StartSpan", "StartSpanAt":
+				if len(call.Args) >= 2 {
+					checkName(pass, dir, call.Args[1], "span", eventRE,
+						"must match (run|runner|sim|eventq|server|model|load|span).lower_snake — the registered trace namespaces")
+				}
 			case "Counter":
 				checkName(pass, dir, call.Args[0], "counter", metricRE,
 					"must be lower_snake_case ending in _total")
@@ -80,8 +93,86 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			}
 			return true
 		})
+		checkSpanLifetimes(pass, dir, f)
 	}
 	return nil, nil
+}
+
+// checkSpanLifetimes flags StartSpan/StartSpanAt results that can never be
+// ended: discarded outright, or bound to a local variable with no
+// x.End(...) anywhere in the enclosing function declaration (deferred
+// closures included — the whole body is searched). Spans handed off via
+// field assignment or return value are exempt; their End is the owner's
+// responsibility.
+func checkSpanLifetimes(pass *analysis.Pass, dir *simdir.Directives, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		// Every identifier that has .End called on it somewhere in the body.
+		ended := make(map[types.Object]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "End" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					ended[obj] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok && isStartSpanCall(pass, call) {
+					dir.Report(pass, Name, call.Pos(),
+						"span is started and immediately discarded; every started span must be ended or it never emits")
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range st.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isStartSpanCall(pass, call) || i >= len(st.Lhs) {
+						continue
+					}
+					id, ok := st.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue // field assign: ownership handed off
+					}
+					if id.Name == "_" {
+						dir.Report(pass, Name, call.Pos(),
+							"span is started and immediately discarded; every started span must be ended or it never emits")
+						continue
+					}
+					obj := pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[id]
+					}
+					if obj != nil && !ended[obj] {
+						dir.Report(pass, Name, id.Pos(),
+							"span %s is never ended in this function; call %s.End(...) (defer is fine) or hand the span off", id.Name, id.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isStartSpanCall reports whether call invokes Tracer.StartSpan or
+// Tracer.StartSpanAt from a package named telemetry.
+func isStartSpanCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !isTelemetryMethod(obj) {
+		return false
+	}
+	return obj.Name() == "StartSpan" || obj.Name() == "StartSpanAt"
 }
 
 // isTelemetryMethod reports whether obj is a method of a type defined in

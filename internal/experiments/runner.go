@@ -200,14 +200,17 @@ func (r *Runner) Run(ctx context.Context, spec machine.Spec, program string, cla
 		// Another goroutine is already simulating this key: wait for it
 		// rather than duplicating the run or blocking the whole cache.
 		r.mu.Unlock()
+		dspan := r.startSpanDedupWait(ctx)
 		start := time.Now()
 		select {
 		case <-fl.done:
 		case <-ctx.Done():
-			r.noteCanceled(key, "dedup-wait")
+			dspan.End("canceled", true)
+			r.noteCanceled(ctx, key, "dedup-wait")
 			return sim.Result{}, fmt.Errorf("experiments: run %s %s.%s n=%d: %w",
 				key.Machine, key.Program, key.Class, key.Cores, ctx.Err())
 		}
+		dspan.End()
 		if fl.err == nil {
 			r.report(outcomeDedup, spec, program, class, cores, time.Since(start), 0, fl.res)
 		}
@@ -248,14 +251,17 @@ const (
 // this run and surface as *WorkerPanicError.
 func (r *Runner) execute(ctx context.Context, key RunKey, spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
 	enqueued := time.Now()
+	qspan := r.startSpanQueueWait(ctx)
 	sem := r.workers()
 	select {
 	case sem <- struct{}{}:
 	case <-ctx.Done():
-		r.noteCanceled(key, "queue-wait")
+		qspan.End("canceled", true)
+		r.noteCanceled(ctx, key, "queue-wait")
 		return sim.Result{}, fmt.Errorf("experiments: run %s %s.%s n=%d: %w",
 			key.Machine, key.Program, key.Class, key.Cores, ctx.Err())
 	}
+	qspan.End()
 	defer func() { <-sem }()
 	queueWait := time.Since(enqueued)
 
@@ -264,7 +270,15 @@ func (r *Runner) execute(ctx context.Context, key RunKey, spec machine.Spec, pro
 	r.progMu.Unlock()
 
 	start := time.Now()
+	xspan := r.startSpanExecute(ctx)
 	res, err := r.invoke(ctx, key, spec, program, class, cores)
+	if err == nil {
+		xspan.End("machine", key.Machine, "program", key.Program,
+			"class", string(key.Class), "cores", key.Cores)
+	} else {
+		xspan.End("machine", key.Machine, "program", key.Program,
+			"class", string(key.Class), "cores", key.Cores, "error", err.Error())
+	}
 
 	r.progMu.Lock()
 	r.completed++
@@ -275,9 +289,48 @@ func (r *Runner) execute(ctx context.Context, key RunKey, spec machine.Spec, pro
 	case errors.Is(err, ErrWorkerPanic):
 		r.notePanic(key, err)
 	case errors.Is(err, sim.ErrCanceled) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		r.noteCanceled(key, "simulate")
+		r.noteCanceled(ctx, key, "simulate")
 	}
 	return res, err
+}
+
+// Request-scoped span helpers: when the tracer is on AND the caller's
+// context carries a telemetry.SpanContext (the serving path does; batch
+// sweeps do not), the phases of one run — dedup wait, worker-queue wait,
+// execute — become child spans of the caller's request so cmd/traceview
+// can show where a slow predict spent its time. Off either condition they
+// return the zero Span, whose End is a no-op.
+func (r *Runner) startSpanDedupWait(ctx context.Context) telemetry.Span {
+	if !r.Tracer.Enabled() {
+		return telemetry.Span{}
+	}
+	sc, ok := telemetry.SpanFromContext(ctx)
+	if !ok {
+		return telemetry.Span{}
+	}
+	return r.Tracer.StartSpan(sc, "runner.dedup_wait")
+}
+
+func (r *Runner) startSpanQueueWait(ctx context.Context) telemetry.Span {
+	if !r.Tracer.Enabled() {
+		return telemetry.Span{}
+	}
+	sc, ok := telemetry.SpanFromContext(ctx)
+	if !ok {
+		return telemetry.Span{}
+	}
+	return r.Tracer.StartSpan(sc, "runner.queue_wait")
+}
+
+func (r *Runner) startSpanExecute(ctx context.Context) telemetry.Span {
+	if !r.Tracer.Enabled() {
+		return telemetry.Span{}
+	}
+	sc, ok := telemetry.SpanFromContext(ctx)
+	if !ok {
+		return telemetry.Span{}
+	}
+	return r.Tracer.StartSpan(sc, "runner.execute")
 }
 
 // invoke runs the simulation body with panic isolation: a panic anywhere
@@ -303,12 +356,21 @@ func (r *Runner) invoke(ctx context.Context, key RunKey, spec machine.Spec, prog
 	return simulate(ctx, spec, program, class, cores)
 }
 
-// noteCanceled records one canceled run on the tracer and metrics.
-func (r *Runner) noteCanceled(key RunKey, where string) {
+// noteCanceled records one canceled run on the tracer and metrics. When
+// the context carries a request span, its trace ID is attached so a 499
+// in the server log is joinable to the cancellation checkpoint that
+// observed it.
+func (r *Runner) noteCanceled(ctx context.Context, key RunKey, where string) {
 	if r.Metrics != nil {
 		r.Metrics.Counter("runner_canceled_total").Inc()
 	}
 	if r.Tracer.Enabled() {
+		if sc, ok := telemetry.SpanFromContext(ctx); ok {
+			r.Tracer.Emit("runner.canceled",
+				"machine", key.Machine, "program", key.Program, "class", string(key.Class),
+				"cores", key.Cores, "where", where, "trace", sc.Trace.String())
+			return
+		}
 		r.Tracer.Emit("runner.canceled",
 			"machine", key.Machine, "program", key.Program, "class", string(key.Class),
 			"cores", key.Cores, "where", where)

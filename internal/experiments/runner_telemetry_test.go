@@ -140,3 +140,57 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestRunnerRequestScopedSpans checks that when the caller's context
+// carries a telemetry.SpanContext (the serving path), one run emits
+// runner.queue_wait and runner.execute span.end records parented under
+// the request span, and that a context without one emits no span records.
+func TestRunnerRequestScopedSpans(t *testing.T) {
+	r := NewRunner(quickTune)
+	r.Jobs = 1
+	countingSim(r, time.Millisecond)
+	var traceBuf bytes.Buffer
+	r.Tracer = telemetry.NewTracer(&traceBuf)
+	spec := machine.IntelUMA8()
+
+	parent := telemetry.DeriveSpanContext(99, 1)
+	ctx := telemetry.ContextWithSpan(context.Background(), parent)
+	if _, err := r.Run(ctx, spec, "CG", workload.W, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := map[string]map[string]any{}
+	for _, line := range strings.Split(strings.TrimSpace(traceBuf.String()), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if ev["event"] == "span.end" {
+			spans[ev["name"].(string)] = ev
+		}
+	}
+	for _, name := range []string{"runner.queue_wait", "runner.execute"} {
+		ev, ok := spans[name]
+		if !ok {
+			t.Fatalf("missing %s span in trace:\n%s", name, traceBuf.String())
+		}
+		if ev["trace"] != parent.Trace.String() {
+			t.Errorf("%s trace = %v, want %s", name, ev["trace"], parent.Trace)
+		}
+		if ev["parent"] != parent.Span.String() {
+			t.Errorf("%s parent = %v, want %s", name, ev["parent"], parent.Span)
+		}
+	}
+	if ev := spans["runner.execute"]; ev["program"] != "CG" || ev["cores"] != float64(2) {
+		t.Errorf("runner.execute attrs = %v", ev)
+	}
+
+	// Without a span in the context (batch sweeps), no span records.
+	traceBuf.Reset()
+	if _, err := r.Run(context.Background(), spec, "CG", workload.W, 3); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(traceBuf.String(), "span.end") {
+		t.Errorf("span records emitted without a request span:\n%s", traceBuf.String())
+	}
+}

@@ -12,13 +12,17 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // goldenRecords is a fixed, hand-written request log that exercises every
-// field of the NDJSON schema: success with tier and tenant, a shed 429, a
-// transport error, and a zero-value row.
+// field of the NDJSON schema: success with tier, tenant, trace ID and
+// config hash, a shed 429 (trace but no hash), a transport error, and a
+// zero-value row.
 func goldenRecords() []Record {
 	return []Record{
-		{Seq: 0, ScheduledMs: 0, SendMs: 0.25, FirstByteMs: 1.5, TotalMs: 1.75, Status: 200, Tier: "analytical", Tenant: "team-a"},
-		{Seq: 1, ScheduledMs: 10, SendMs: 10.125, FirstByteMs: 42, TotalMs: 55.5, Status: 200, Tier: "simulation"},
-		{Seq: 2, ScheduledMs: 20, SendMs: 20.5, FirstByteMs: 0.5, TotalMs: 0.5, Status: 429, Tier: "", Tenant: "team-a"},
+		{Seq: 0, ScheduledMs: 0, SendMs: 0.25, FirstByteMs: 1.5, TotalMs: 1.75, Status: 200, Tier: "analytical", Tenant: "team-a",
+			TraceID: "f1fcd330b93a197995b780e8a49e74d6", ConfigHash: "3f83e7c4a7f7c1fcbc2a4f9f6e3f1a10c9f1f60cfae92c9f4e01c3a2b5d67e8a"},
+		{Seq: 1, ScheduledMs: 10, SendMs: 10.125, FirstByteMs: 42, TotalMs: 55.5, Status: 200, Tier: "simulation",
+			TraceID: "9f3f12cb4a24e3d0c1db1c2f0e8b6a57"},
+		{Seq: 2, ScheduledMs: 20, SendMs: 20.5, FirstByteMs: 0.5, TotalMs: 0.5, Status: 429, Tier: "", Tenant: "team-a",
+			TraceID: "1b9aa2edc3f54490a17d11c1d0a2b3c4"},
 		{Seq: 3, ScheduledMs: 30, SendMs: 30.0625, Status: 0, Error: "connection refused"},
 		{Seq: 4},
 	}

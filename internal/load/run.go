@@ -42,6 +42,14 @@ type Record struct {
 	Tier string `json:"tier"`
 	// Tenant echoes the X-Simserved-Tenant request header, when set.
 	Tenant string `json:"tenant,omitempty"`
+	// TraceID is the 128-bit trace ID (32 hex digits) sent in the W3C
+	// traceparent header, derived deterministically from (Config.Seed,
+	// Seq). It joins this record to the server's span log (cmd/traceview)
+	// and to the X-Simserved-Trace response header.
+	TraceID string `json:"trace_id,omitempty"`
+	// ConfigHash echoes the X-Simserved-Config-Hash response header: the
+	// content address of the answered query ("" on errors and non-2xx).
+	ConfigHash string `json:"config_hash,omitempty"`
 	// Error is the transport error, when any.
 	Error string `json:"error,omitempty"`
 }
@@ -60,7 +68,14 @@ type Config struct {
 	Conns int
 	// Client overrides the HTTP client (tests). Nil builds one from Conns.
 	Client *http.Client
-	// Tracer, when non-nil, receives load.start and load.done events.
+	// Seed derives each request's trace ID (with its Seq) via
+	// telemetry.DeriveSpanContext, so a rerun of the same seeded schedule
+	// regenerates the same trace IDs. Trace IDs are always derived and
+	// logged; spans are only emitted when Tracer is set.
+	Seed int64
+	// Tracer, when non-nil, receives load.start and load.done events plus
+	// one "load.request" client span per request, sharing the request's
+	// derived trace ID so client and server waterfalls join.
 	Tracer *telemetry.Tracer
 }
 
@@ -94,7 +109,7 @@ func Run(ctx context.Context, cfg Config) ([]Record, error) {
 	url := cfg.BaseURL + PredictPath
 	if cfg.Tracer.Enabled() {
 		cfg.Tracer.Emit("load.start",
-			"url", url, "requests", len(cfg.Schedule), "tenant", cfg.Tenant)
+			"url", url, "requests", len(cfg.Schedule), "tenant", cfg.Tenant, "seed", cfg.Seed)
 	}
 
 	var (
@@ -143,12 +158,17 @@ dispatch:
 	return records, runErr
 }
 
-// fire sends one request and measures it.
-func fire(ctx context.Context, client *http.Client, url string, cfg Config, seq int, scheduled time.Duration, start time.Time) Record {
-	rec := Record{
+// fire sends one request and measures it. Each request carries a
+// deterministic traceparent derived from (cfg.Seed, seq); when the tracer
+// is on, the client side is bracketed in a "load.request" span holding
+// exactly that context, so the server's span tree hangs off it.
+func fire(ctx context.Context, client *http.Client, url string, cfg Config, seq int, scheduled time.Duration, start time.Time) (rec Record) {
+	sc := telemetry.DeriveSpanContext(cfg.Seed, int64(seq))
+	rec = Record{
 		Seq:         seq,
 		ScheduledMs: durationMs(scheduled),
 		Tenant:      cfg.Tenant,
+		TraceID:     sc.Trace.String(),
 	}
 	// sent is assigned before client.Do; the trace callback fires during
 	// Do, so the read is ordered after the write.
@@ -164,9 +184,12 @@ func fire(ctx context.Context, client *http.Client, url string, cfg Config, seq 
 		return rec
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.HeaderTraceparent, sc.Traceparent())
 	if cfg.Tenant != "" {
 		req.Header.Set(server.HeaderTenant, cfg.Tenant)
 	}
+	span := cfg.Tracer.StartSpanAt(sc, "load.request")
+	defer func() { span.End("seq", rec.Seq, "status", rec.Status, "tier", rec.Tier) }()
 	sent = time.Now()
 	rec.SendMs = durationMs(sent.Sub(start))
 	resp, err := client.Do(req)
@@ -184,6 +207,9 @@ func fire(ctx context.Context, client *http.Client, url string, cfg Config, seq 
 	}
 	rec.Status = resp.StatusCode
 	rec.Tier = resp.Header.Get(server.HeaderTier)
+	if rec.Status >= 200 && rec.Status < 300 {
+		rec.ConfigHash = resp.Header.Get(server.HeaderConfigHash)
+	}
 	if copyErr != nil {
 		rec.Error = copyErr.Error()
 	}

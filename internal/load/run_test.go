@@ -1,24 +1,33 @@
 package load
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
-// stubServer fakes simserved's predict surface: instant 200s with a tier
-// header, an optional per-request delay, and an in-flight high-water mark
-// to observe open-loop concurrency.
+// stubConfigHash is the config-hash header every stub response echoes.
+const stubConfigHash = "deadbeef"
+
+// stubServer fakes simserved's predict surface: instant 200s with tier and
+// config-hash headers, an optional per-request delay, and an in-flight
+// high-water mark to observe open-loop concurrency. It records the last
+// traceparent header it saw.
 type stubServer struct {
-	delay    time.Duration
-	inflight atomic.Int64
-	peak     atomic.Int64
+	delay     time.Duration
+	inflight  atomic.Int64
+	peak      atomic.Int64
+	lastTrace atomic.Value // string: last traceparent header
 }
 
 func (s *stubServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -37,7 +46,9 @@ func (s *stubServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.lastTrace.Store(r.Header.Get(server.HeaderTraceparent))
 	w.Header().Set(server.HeaderTier, "analytical")
+	w.Header().Set(server.HeaderConfigHash, stubConfigHash)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write([]byte(`{"omega":0.1}`))
 }
@@ -60,12 +71,14 @@ func TestRunOpenLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	const seed = 11
 	recs, err := Run(context.Background(), Config{
 		BaseURL:  ts.URL,
 		Body:     []byte(`{"machine":"IntelUMA8","program":"CG","class":"W","cores":2}`),
 		Schedule: sched,
 		Conns:    8,
 		Tenant:   "team-a",
+		Seed:     seed,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +86,7 @@ func TestRunOpenLoop(t *testing.T) {
 	if len(recs) != len(sched) {
 		t.Fatalf("records = %d, want %d", len(recs), len(sched))
 	}
+	seenTraces := make(map[string]bool, len(recs))
 	for i, r := range recs {
 		if r.Seq != i {
 			t.Fatalf("records not ordered by seq: %d at %d", r.Seq, i)
@@ -86,11 +100,76 @@ func TestRunOpenLoop(t *testing.T) {
 		if r.Tenant != "team-a" {
 			t.Errorf("seq %d: tenant %q", i, r.Tenant)
 		}
+		if r.ConfigHash != stubConfigHash {
+			t.Errorf("seq %d: config_hash %q, want %q", i, r.ConfigHash, stubConfigHash)
+		}
+		if want := telemetry.DeriveSpanContext(seed, int64(i)).Trace.String(); r.TraceID != want {
+			t.Errorf("seq %d: trace_id %q, want derived %q", i, r.TraceID, want)
+		}
+		if seenTraces[r.TraceID] {
+			t.Errorf("seq %d: duplicate trace_id %q", i, r.TraceID)
+		}
+		seenTraces[r.TraceID] = true
 		if r.TotalMs <= 0 || r.FirstByteMs <= 0 || r.FirstByteMs > r.TotalMs+0.001 {
 			t.Errorf("seq %d: latencies first_byte=%g total=%g", i, r.FirstByteMs, r.TotalMs)
 		}
 		if lag := r.SendMs - r.ScheduledMs; lag < -1 || lag > 200 {
 			t.Errorf("seq %d: dispatch lag %.2fms", i, lag)
+		}
+	}
+	// The wire side: the stub saw a well-formed traceparent carrying one
+	// of the derived contexts.
+	last, _ := stub.lastTrace.Load().(string)
+	sc, ok := telemetry.ParseTraceparent(last)
+	if !ok {
+		t.Fatalf("stub saw malformed traceparent %q", last)
+	}
+	if !seenTraces[sc.Trace.String()] {
+		t.Errorf("traceparent trace %s not among logged trace IDs", sc.Trace)
+	}
+}
+
+// TestRunClientSpans checks that with a tracer attached each request
+// emits one load.request span whose context matches the derived trace ID
+// in its record.
+func TestRunClientSpans(t *testing.T) {
+	stub := &stubServer{}
+	ts := httptest.NewServer(stub)
+	defer ts.Close()
+
+	sched, err := Schedule(ScheduleConfig{Mode: ModeConst, RPS: 100, Duration: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf)
+	recs, err := Run(context.Background(), Config{BaseURL: ts.URL, Schedule: sched, Seed: 5, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := map[string]map[string]any{} // trace -> record
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if ev["event"] == "span.end" && ev["name"] == "load.request" {
+			spans[ev["trace"].(string)] = ev
+		}
+	}
+	if len(spans) != len(recs) {
+		t.Fatalf("load.request spans = %d, want %d", len(spans), len(recs))
+	}
+	for _, r := range recs {
+		ev, ok := spans[r.TraceID]
+		if !ok {
+			t.Fatalf("no span for trace %s", r.TraceID)
+		}
+		if ev["status"] != float64(http.StatusOK) || ev["seq"] != float64(r.Seq) {
+			t.Errorf("span attrs %v do not match record %+v", ev, r)
+		}
+		if ev["parent"] != nil {
+			t.Errorf("load.request should be a root span, got parent %v", ev["parent"])
 		}
 	}
 }

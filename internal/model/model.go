@@ -295,7 +295,7 @@ func (p *Predictor) Predict(ctx context.Context, spec machine.Spec, program stri
 	if err != nil {
 		return Prediction{}, err
 	}
-	p.refitFromCache(spec, program, class)
+	p.refitFromCache(ctx, spec, program, class)
 	return Prediction{
 		Machine:        spec.Name,
 		Program:        program,
@@ -328,8 +328,20 @@ func (p *Predictor) Warm(ctx context.Context, spec machine.Spec, program string,
 
 // refitFromCache fits the pair if no fit exists yet and every anchor of
 // its plan is already in the runner's cache. It never simulates; it is
-// the self-improvement hook Predict calls after each fallback.
-func (p *Predictor) refitFromCache(spec machine.Spec, program string, class workload.Class) {
+// the self-improvement hook Predict calls after each fallback. When the
+// context carries a request span, the attempt is recorded as a
+// "model.refit" child span (with a fitted attribute) so traceview can
+// show which request paid for a background refit.
+func (p *Predictor) refitFromCache(ctx context.Context, spec machine.Spec, program string, class workload.Class) {
+	var span telemetry.Span
+	if p.Tracer.Enabled() {
+		if sc, ok := telemetry.SpanFromContext(ctx); ok {
+			span = p.Tracer.StartSpan(sc, "model.refit")
+		}
+	}
+	fitted := false
+	defer func() { span.End("fitted", fitted) }()
+
 	k := fitKey{spec.Name, program, class, p.Scale()}
 	p.mu.RLock()
 	_, done := p.fits[k]
@@ -352,7 +364,8 @@ func (p *Predictor) refitFromCache(spec machine.Spec, program string, class work
 	}
 	// Errors here mean the cached anchors cannot support a fit (e.g. a
 	// degenerate workload); the pair simply stays on the simulation tier.
-	_, _ = p.fit(spec, program, class, plan, meas)
+	_, err := p.fit(spec, program, class, plan, meas)
+	fitted = err == nil
 }
 
 // fit runs the core regression over anchor measurements, computes the

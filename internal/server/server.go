@@ -68,7 +68,11 @@ type Config struct {
 	// /metrics. Nil creates a private registry (still served).
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, receives one server.request event per
-	// answered query plus server.rejected / server.error events.
+	// answered query plus server.rejected / server.error events, and a
+	// span.end record for every request-phase span (server.request root,
+	// server.parse/model/admit/sim/respond children; see docs/TRACING.md).
+	// Requests echo their trace ID in the X-Simserved-Trace header and
+	// join a client trace sent via the W3C traceparent header.
 	Tracer *telemetry.Tracer
 }
 
@@ -181,93 +185,138 @@ type errorResponse struct {
 // scalars, so anything past a few KB is a client bug.
 const maxBodyBytes = 1 << 20
 
+// predictParams is one parsed and validated predict request.
+type predictParams struct {
+	spec   machine.Spec
+	req    predictRequest
+	class  workload.Class
+	cores  int
+	tenant string
+}
+
+// httpError is a failure that maps to one HTTP status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+// parsePredict decodes and validates a predict request body. It performs
+// no I/O beyond reading the body and writes nothing, so the handler can
+// bracket it in a span and route the error itself.
+func (s *Server) parsePredict(r *http.Request) (predictParams, *httpError) {
+	var p predictParams
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p.req); err != nil {
+		return p, &httpError{http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err)}
+	}
+	spec, err := machine.ByName(p.req.Machine)
+	if err != nil {
+		return p, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	p.spec = spec
+	if err := validateWorkload(p.req.Program, p.req.Class); err != nil {
+		return p, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	if p.req.Scale != 0 && p.req.Scale != s.pred.Scale() {
+		return p, &httpError{http.StatusBadRequest, fmt.Sprintf(
+			"this instance simulates at scale %g, not %g; run one simserved per fidelity (see docs/SERVER.md)",
+			s.pred.Scale(), p.req.Scale)}
+	}
+	p.cores = p.req.Cores
+	if p.cores == 0 {
+		p.cores = spec.TotalCores()
+	}
+	if p.cores < 1 || p.cores > spec.TotalCores() {
+		return p, &httpError{http.StatusBadRequest, fmt.Sprintf(
+			"cores %d out of range for %s (1..%d)", p.cores, spec.Name, spec.TotalCores())}
+	}
+	p.class = workload.Class(p.req.Class)
+	p.tenant = r.Header.Get(HeaderTenant)
+	return p, nil
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.fail(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	var req predictRequest
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+	rt := s.startTrace(w, r)
+	rt.beginParse()
+	p, herr := s.parsePredict(r)
+	rt.endParse(herr == nil)
+	if herr != nil {
+		s.fail(w, herr.status, herr.msg)
+		rt.finish(herr.status, "")
 		return
 	}
-	spec, err := machine.ByName(req.Machine)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if err := validateWorkload(req.Program, req.Class); err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if req.Scale != 0 && req.Scale != s.pred.Scale() {
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf(
-			"this instance simulates at scale %g, not %g; run one simserved per fidelity (see docs/SERVER.md)",
-			s.pred.Scale(), req.Scale))
-		return
-	}
-	cores := req.Cores
-	if cores == 0 {
-		cores = spec.TotalCores()
-	}
-	if cores < 1 || cores > spec.TotalCores() {
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf(
-			"cores %d out of range for %s (1..%d)", cores, spec.Name, spec.TotalCores()))
-		return
-	}
-	class := workload.Class(req.Class)
-	tenant := r.Header.Get(HeaderTenant)
 	s.metrics.Counter("simserved_requests_total").Inc()
 
 	// Fast path first: microseconds, no admission, no queueing.
 	start := time.Now()
-	if pred, reason := s.pred.Analytical(spec, req.Program, class, cores); reason == "" {
-		s.respond(w, pred, time.Since(start))
-		return
-	} else if !s.admit(w, tenant, spec, req.Program, class, cores, reason) {
+	rt.beginModel()
+	pred, reason := s.pred.Analytical(p.spec, p.req.Program, p.class, p.cores)
+	rt.endModel(string(reason))
+	if reason == "" {
+		rt.beginRespond()
+		s.respond(w, rt, pred, time.Since(start))
+		rt.endRespond()
+		rt.finish(http.StatusOK, string(pred.Tier))
 		return
 	}
-	defer s.release(tenant)
 
-	pred, err := s.pred.Predict(r.Context(), spec, req.Program, class, cores)
+	rt.beginAdmit()
+	ok, scope := s.adm.Acquire(p.tenant)
+	rt.endAdmit(p.tenant, ok, scope)
+	if !ok {
+		s.shed(w, p, reason, scope)
+		rt.finish(http.StatusTooManyRequests, "")
+		return
+	}
+	s.metrics.Gauge("simserved_queue_depth").Set(float64(s.adm.Depth()))
+	defer s.release(p.tenant)
+
+	rt.beginSim()
+	pred, err := s.pred.Predict(rt.context(r.Context()), p.spec, p.req.Program, p.class, p.cores)
+	rt.endSim(err)
 	switch {
 	case err == nil:
-		s.respond(w, pred, time.Since(start))
+		rt.beginRespond()
+		s.respond(w, rt, pred, time.Since(start))
+		rt.endRespond()
+		rt.finish(http.StatusOK, string(pred.Tier))
 	case errors.Is(err, sim.ErrCanceled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		s.metrics.Counter("simserved_canceled_total").Inc()
 		s.fail(w, StatusClientClosedRequest, "request canceled before the simulation finished")
+		rt.finish(StatusClientClosedRequest, "")
 	case errors.Is(err, model.ErrBadCores):
 		s.fail(w, http.StatusBadRequest, err.Error())
+		rt.finish(http.StatusBadRequest, "")
 	default:
 		s.metrics.Counter("simserved_errors_total").Inc()
 		if s.tracer.Enabled() {
-			s.tracer.Emit("server.error", "machine", spec.Name, "program", req.Program,
-				"class", req.Class, "cores", cores, "error", err.Error())
+			s.tracer.Emit("server.error", "machine", p.spec.Name, "program", p.req.Program,
+				"class", p.req.Class, "cores", p.cores, "error", err.Error())
 		}
 		s.fail(w, http.StatusInternalServerError, err.Error())
+		rt.finish(http.StatusInternalServerError, "")
 	}
 }
 
-// admit takes one simulation-tier admission token for the tenant, or
-// sheds the request with 429 + Retry-After + the rejecting scope and
-// reports false. The queue-depth gauge tracks tokens in use.
-func (s *Server) admit(w http.ResponseWriter, tenant string, spec machine.Spec, program string, class workload.Class, cores int, reason model.DeclineReason) bool {
-	ok, scope := s.adm.Acquire(tenant)
-	if ok {
-		s.metrics.Gauge("simserved_queue_depth").Set(float64(s.adm.Depth()))
-		return true
-	}
+// shed writes the 429 for a request that failed admission: Retry-After
+// priced off the simulation-latency EWMA, the rejecting scope, and a
+// message naming the full bucket. reason is the analytical tier's decline
+// that routed the request here.
+func (s *Server) shed(w http.ResponseWriter, p predictParams, reason model.DeclineReason, scope string) {
 	s.metrics.Counter("simserved_rejected_total").Inc()
 	if scope == ScopeTenant {
 		s.metrics.Counter("simserved_tenant_rejected_total").Inc()
 	}
 	if s.tracer.Enabled() {
-		s.tracer.Emit("server.rejected", "machine", spec.Name, "program", program,
-			"class", string(class), "cores", cores, "decline", string(reason),
-			"tenant", tenant, "scope", scope, "queue", s.adm.Cap())
+		s.tracer.Emit("server.rejected", "machine", p.spec.Name, "program", p.req.Program,
+			"class", p.req.Class, "cores", p.cores, "decline", string(reason),
+			"tenant", p.tenant, "scope", scope, "queue", s.adm.Cap())
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterS()))
 	w.Header().Set(HeaderAdmissionScope, scope)
@@ -282,7 +331,6 @@ func (s *Server) admit(w http.ResponseWriter, tenant string, spec machine.Spec, 
 			s.adm.Cap(), reason)
 	}
 	s.fail(w, http.StatusTooManyRequests, msg)
-	return false
 }
 
 // release returns the tenant's admission token.
@@ -317,20 +365,32 @@ func (s *Server) observeSimLatency(elapsed time.Duration) {
 	s.latMu.Unlock()
 }
 
+// Latency histogram bucket bounds (milliseconds), shared by respond (which
+// feeds them) and handleHealthz (which reads quantiles off them).
+var (
+	analyticalBounds = []float64{0.01, 0.1, 1, 10, 100}
+	simulateBounds   = []float64{10, 100, 1000, 10000, 100000}
+	predictBounds    = []float64{0.01, 0.1, 1, 10, 100, 1000, 10000, 100000}
+)
+
 // respond writes one successful prediction with the tier headers and
-// records the per-tier latency metrics and the request trace event.
-func (s *Server) respond(w http.ResponseWriter, pred model.Prediction, elapsed time.Duration) {
+// records the per-tier latency metrics and the request trace event. The
+// request's trace ID (empty when tracing is off) becomes the exemplar on
+// each latency histogram bucket, so a /metrics scrape names the slowest
+// request per bucket.
+func (s *Server) respond(w http.ResponseWriter, rt *requestTrace, pred model.Prediction, elapsed time.Duration) {
 	ms := float64(elapsed.Microseconds()) / 1000
+	trace := rt.traceID()
 	switch pred.Tier {
 	case model.TierAnalytical:
 		s.metrics.Counter("simserved_analytical_total").Inc()
-		s.metrics.Histogram("simserved_analytical_ms", 0.01, 0.1, 1, 10, 100).Observe(ms)
+		s.metrics.Histogram("simserved_analytical_ms", analyticalBounds...).ObserveExemplar(ms, trace)
 	case model.TierSimulation:
 		s.metrics.Counter("simserved_simulation_total").Inc()
-		s.metrics.Histogram("simserved_simulate_ms", 10, 100, 1000, 10000, 100000).Observe(ms)
+		s.metrics.Histogram("simserved_simulate_ms", simulateBounds...).ObserveExemplar(ms, trace)
 		s.observeSimLatency(elapsed)
 	}
-	s.metrics.Histogram("simserved_predict_ms", 0.01, 0.1, 1, 10, 100, 1000, 10000, 100000).Observe(ms)
+	s.metrics.Histogram("simserved_predict_ms", predictBounds...).ObserveExemplar(ms, trace)
 	if s.tracer.Enabled() {
 		s.tracer.Emit("server.request",
 			"machine", pred.Machine, "program", pred.Program, "class", string(pred.Class),
@@ -439,29 +499,46 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// healthzResponse is the GET /healthz body.
+// healthzResponse is the GET /healthz body. The latency quantiles are
+// interpolated from the simserved_predict_ms histogram
+// (telemetry.Histogram.Quantile) and are 0 before the first request.
 type healthzResponse struct {
-	Status     string  `json:"status"`
-	Scale      float64 `json:"scale"`
-	Fits       int     `json:"fits"`
-	CachedRuns int     `json:"cached_runs"`
-	QueueDepth int     `json:"queue_depth"`
-	QueueCap   int     `json:"queue_cap"`
-	TenantCap  int     `json:"tenant_cap"`
-	Tenants    int     `json:"tenants"`
+	Status       string  `json:"status"`
+	Scale        float64 `json:"scale"`
+	Fits         int     `json:"fits"`
+	CachedRuns   int     `json:"cached_runs"`
+	QueueDepth   int     `json:"queue_depth"`
+	QueueCap     int     `json:"queue_cap"`
+	TenantCap    int     `json:"tenant_cap"`
+	Tenants      int     `json:"tenants"`
+	PredictP50Ms float64 `json:"predict_p50_ms"`
+	PredictP99Ms float64 `json:"predict_p99_ms"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.metrics.Histogram("simserved_predict_ms", predictBounds...)
 	s.writeJSON(w, http.StatusOK, healthzResponse{
-		Status:     "ok",
-		Scale:      s.pred.Scale(),
-		Fits:       s.pred.FitCount(),
-		CachedRuns: s.pred.CachedRuns(),
-		QueueDepth: s.adm.Depth(),
-		QueueCap:   s.adm.Cap(),
-		TenantCap:  s.adm.TenantCap(),
-		Tenants:    s.adm.Tenants(),
+		Status:       "ok",
+		Scale:        s.pred.Scale(),
+		Fits:         s.pred.FitCount(),
+		CachedRuns:   s.pred.CachedRuns(),
+		QueueDepth:   s.adm.Depth(),
+		QueueCap:     s.adm.Cap(),
+		TenantCap:    s.adm.TenantCap(),
+		Tenants:      s.adm.Tenants(),
+		PredictP50Ms: quantileOrZero(h, 0.50),
+		PredictP99Ms: quantileOrZero(h, 0.99),
 	})
+}
+
+// quantileOrZero is Histogram.Quantile with the empty-histogram NaN mapped
+// to 0, since NaN is not representable in JSON.
+func quantileOrZero(h *telemetry.Histogram, q float64) float64 {
+	v := h.Quantile(q)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/telemetry"
+)
+
+// Trace propagation headers.
+const (
+	// HeaderTraceparent is the W3C trace-context request header
+	// ("00-<trace>-<span>-01"); when a client (cmd/loadgen) sends one, the
+	// server's request span joins the client's trace instead of starting
+	// a fresh one.
+	HeaderTraceparent = "traceparent"
+	// HeaderTrace reports the request's trace ID back to the client (set
+	// only when tracing is enabled), so any response — including 4xx/5xx —
+	// is joinable to the server's span log.
+	HeaderTrace = "X-Simserved-Trace"
+)
+
+// requestTrace carries one predict request's span tree through the
+// handler. A nil *requestTrace (tracing off) makes every method a no-op,
+// keeping the fast path free of span work: the typed begin/end methods
+// below take no variadic arguments, so a disabled handler allocates no
+// span objects and no boxed attribute slices (the tentpole's
+// zero-cost-when-off contract; TestPredictTracingOffAllocations pins it).
+//
+// The handler is strictly sequential, so one child slot suffices: each
+// begin* opens the next phase span and the matching end* closes it.
+type requestTrace struct {
+	tracer *telemetry.Tracer
+	root   telemetry.Span
+	child  telemetry.Span
+}
+
+// startTrace opens the request's root span ("server.request"), joined to
+// the client's traceparent when present, and echoes the trace ID in the
+// response headers. It returns nil when tracing is off.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) *requestTrace {
+	if !s.tracer.Enabled() {
+		return nil
+	}
+	parent, _ := telemetry.ParseTraceparent(r.Header.Get(HeaderTraceparent))
+	rt := &requestTrace{tracer: s.tracer}
+	rt.root = s.tracer.StartSpan(parent, "server.request")
+	w.Header().Set(HeaderTrace, rt.root.Context().Trace.String())
+	return rt
+}
+
+// context returns ctx carrying the root span, so the runner and the sim
+// cancellation checkpoints can parent their spans under this request.
+func (rt *requestTrace) context(ctx context.Context) context.Context {
+	if rt == nil {
+		return ctx
+	}
+	return telemetry.ContextWithSpan(ctx, rt.root.Context())
+}
+
+// traceID returns the request's trace ID in hex, or "" when tracing is
+// off — the exemplar key for the latency histograms.
+func (rt *requestTrace) traceID() string {
+	if rt == nil {
+		return ""
+	}
+	return rt.root.Context().Trace.String()
+}
+
+// beginParse opens the decode+validate phase span.
+func (rt *requestTrace) beginParse() {
+	if rt == nil {
+		return
+	}
+	rt.child = rt.tracer.StartSpan(rt.root.Context(), "server.parse")
+}
+
+// endParse closes the parse span with the validation outcome.
+func (rt *requestTrace) endParse(ok bool) {
+	if rt == nil {
+		return
+	}
+	rt.child.End("ok", ok)
+}
+
+// beginModel opens the tier-decision span (the analytical attempt).
+func (rt *requestTrace) beginModel() {
+	if rt == nil {
+		return
+	}
+	rt.child = rt.tracer.StartSpan(rt.root.Context(), "server.model")
+}
+
+// endModel closes the model span; decline is empty when the fast path
+// answered, else the decline reason that routed us to simulation.
+func (rt *requestTrace) endModel(decline string) {
+	if rt == nil {
+		return
+	}
+	if decline == "" {
+		rt.child.End("decision", "answered")
+		return
+	}
+	rt.child.End("decision", "declined", "decline", decline)
+}
+
+// beginAdmit opens the admission-wait span. The admitter never blocks —
+// the span times the decision itself and records which bucket (global or
+// per-tenant) the verdict came from, completing the paper-style
+// queue-vs-service decomposition per request.
+func (rt *requestTrace) beginAdmit() {
+	if rt == nil {
+		return
+	}
+	rt.child = rt.tracer.StartSpan(rt.root.Context(), "server.admit")
+}
+
+// endAdmit closes the admission span with the verdict and the deciding
+// scope (ScopeGlobal or ScopeTenant).
+func (rt *requestTrace) endAdmit(tenant string, ok bool, scope string) {
+	if rt == nil {
+		return
+	}
+	rt.child.End("ok", ok, "tenant", tenant, "scope", scope)
+}
+
+// beginSim opens the simulation-fallback span; the runner's
+// queue_wait/execute spans nest under the request root via context.
+func (rt *requestTrace) beginSim() {
+	if rt == nil {
+		return
+	}
+	rt.child = rt.tracer.StartSpan(rt.root.Context(), "server.sim")
+}
+
+// endSim closes the simulation span, recording the error if any.
+func (rt *requestTrace) endSim(err error) {
+	if rt == nil {
+		return
+	}
+	if err == nil {
+		rt.child.End()
+		return
+	}
+	rt.child.End("error", err.Error())
+}
+
+// beginRespond opens the response-marshal span.
+func (rt *requestTrace) beginRespond() {
+	if rt == nil {
+		return
+	}
+	rt.child = rt.tracer.StartSpan(rt.root.Context(), "server.respond")
+}
+
+// endRespond closes the response span.
+func (rt *requestTrace) endRespond() {
+	if rt == nil {
+		return
+	}
+	rt.child.End()
+}
+
+// finish closes the root span with the final status and answering tier
+// ("" when the request failed before a tier answered). Every handler exit
+// path calls it exactly once.
+func (rt *requestTrace) finish(status int, tier string) {
+	if rt == nil {
+		return
+	}
+	if tier == "" {
+		rt.root.End("status", status)
+		return
+	}
+	rt.root.End("status", status, "tier", tier)
+}

@@ -46,6 +46,19 @@ type Histogram struct {
 	counts []uint64 // len(bounds)+1; last is +Inf
 	sum    float64
 	total  uint64
+	// exemplars holds, per bucket, the trace ID of the slowest observation
+	// recorded via ObserveExemplar. Allocated lazily so histograms that
+	// never see exemplars (tracing off) pay nothing and render unchanged.
+	exemplars []exemplar
+}
+
+// exemplar ties a bucket's worst observation to the trace that caused it,
+// in the spirit of OpenMetrics exemplars: a metrics scrape answers "which
+// request was that" without joining logs by hand.
+type exemplar struct {
+	trace string
+	value float64
+	set   bool
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds.
@@ -63,6 +76,66 @@ func (h *Histogram) Observe(v float64) {
 	h.sum += v
 	h.total++
 	h.mu.Unlock()
+}
+
+// ObserveExemplar records one sample and, when trace is nonempty, attaches
+// it as the bucket's exemplar if it is the slowest observation that bucket
+// has seen. With an empty trace it is equivalent to Observe.
+func (h *Histogram) ObserveExemplar(v float64, trace string) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	if trace != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]exemplar, len(h.counts))
+		}
+		if e := &h.exemplars[i]; !e.set || v >= e.value {
+			*e = exemplar{trace: trace, value: v, set: true}
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket containing the target rank, the standard
+// fixed-bucket estimate (Prometheus histogram_quantile). Values below the
+// first bound interpolate from zero, so the estimate assumes non-negative
+// observations. Observations in the +Inf bucket clamp to the highest
+// finite bound. An empty histogram returns NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.total)
+	if rank < 0 {
+		rank = 0
+	}
+	if rank > float64(h.total) {
+		rank = float64(h.total)
+	}
+	cum := 0.0
+	for i, b := range h.bounds {
+		next := cum + float64(h.counts[i])
+		if next >= rank && h.counts[i] > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := rank - cum
+			if frac < 0 {
+				// rank landed in a preceding empty bucket; clamp to this
+				// bucket's lower edge.
+				frac = 0
+			}
+			return lower + (b-lower)*frac/float64(h.counts[i])
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // Count returns the total number of observations.
@@ -185,31 +258,42 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	for _, name := range sortedKeys(histograms) {
-		bounds, counts, sum, total := histograms[name].snapshot()
+		bounds, counts, sum, total, exemplars := histograms[name].snapshot()
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 			return err
 		}
 		cum := uint64(0)
 		for i, b := range bounds {
 			cum += counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n",
+				name, formatFloat(b), cum, exemplarSuffix(exemplars, i)); err != nil {
 				return err
 			}
 		}
 		cum += counts[len(bounds)]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-			name, cum, name, formatFloat(sum), name, total); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n%s_sum %s\n%s_count %d\n",
+			name, cum, exemplarSuffix(exemplars, len(bounds)), name, formatFloat(sum), name, total); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// exemplarSuffix renders an OpenMetrics-style exemplar annotation for one
+// bucket line, or "" when the bucket has none — histograms fed only by
+// Observe render byte-identically to the pre-exemplar format.
+func exemplarSuffix(exemplars []exemplar, i int) string {
+	if i >= len(exemplars) || !exemplars[i].set {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", exemplars[i].trace, formatFloat(exemplars[i].value))
+}
+
 // snapshot copies the histogram state for export.
-func (h *Histogram) snapshot() (bounds []float64, counts []uint64, sum float64, total uint64) {
+func (h *Histogram) snapshot() (bounds []float64, counts []uint64, sum float64, total uint64, exemplars []exemplar) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.bounds, append([]uint64(nil), h.counts...), h.sum, h.total
+	return h.bounds, append([]uint64(nil), h.counts...), h.sum, h.total, append([]exemplar(nil), h.exemplars...)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strings"
 	"sync"
@@ -40,7 +41,7 @@ func TestHistogramBuckets(t *testing.T) {
 	if h.Sum() != 556.5 {
 		t.Errorf("sum = %v, want 556.5", h.Sum())
 	}
-	_, counts, _, _ := h.snapshot()
+	_, counts, _, _, _ := h.snapshot()
 	// 0.5 and 1 land in le=1; 5 in le=10; 50 in le=100; 500 in +Inf.
 	want := []uint64{2, 1, 1, 1}
 	for i, w := range want {
@@ -227,5 +228,91 @@ func TestDebugServer(t *testing.T) {
 	}
 	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ missing index:\n%s", body)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// Uniform 1..100 over bounds 10,20,...,100: every bucket holds 10
+	// observations, so linear interpolation is exact at every rank.
+	uniform := NewHistogram(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+	for v := 1; v <= 100; v++ {
+		uniform.Observe(float64(v))
+	}
+	// Sparse: a gap bucket between two occupied ones.
+	sparse := NewHistogram(1, 2, 3, 4)
+	for i := 0; i < 10; i++ {
+		sparse.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		sparse.Observe(3.5)
+	}
+	// Overflow: everything in +Inf clamps to the top finite bound.
+	over := NewHistogram(1, 2)
+	over.Observe(99)
+
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want float64
+	}{
+		{"uniform p50", uniform, 0.50, 50},
+		{"uniform p90", uniform, 0.90, 90},
+		{"uniform p99", uniform, 0.99, 99},
+		{"uniform p10", uniform, 0.10, 10},
+		{"uniform p0 clamps", uniform, 0, 0},
+		{"uniform p100", uniform, 1, 100},
+		{"sparse p25 interpolates first bucket", sparse, 0.25, 0.5},
+		{"sparse p75 lands past the gap", sparse, 0.75, 3.5},
+		{"overflow clamps to top bound", over, 0.99, 2},
+	}
+	for _, c := range cases {
+		if got := c.h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+	if got := NewHistogram(1, 2).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram Quantile = %v, want NaN", got)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_ms", 1, 10)
+	h.ObserveExemplar(0.5, "aaaa")
+	h.ObserveExemplar(0.9, "bbbb") // slower: replaces aaaa in le=1
+	h.ObserveExemplar(0.2, "cccc") // faster: kept out
+	h.ObserveExemplar(50, "dddd")  // +Inf bucket
+	h.Observe(5)                   // no exemplar for le=10
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE req_ms histogram
+req_ms_bucket{le="1"} 3 # {trace_id="bbbb"} 0.9
+req_ms_bucket{le="10"} 4
+req_ms_bucket{le="+Inf"} 5 # {trace_id="dddd"} 50
+req_ms_sum 56.6
+req_ms_count 5
+`
+	if buf.String() != want {
+		t.Errorf("exposition with exemplars:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestExemplarFreeHistogramRendersUnchanged(t *testing.T) {
+	plain, tagged := NewRegistry(), NewRegistry()
+	plain.Histogram("h", 1, 2).Observe(1.5)
+	tagged.Histogram("h", 1, 2).ObserveExemplar(1.5, "")
+	var a, b bytes.Buffer
+	if err := plain.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tagged.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("empty-trace ObserveExemplar changed output:\n%s\nvs\n%s", a.String(), b.String())
 	}
 }

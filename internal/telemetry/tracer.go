@@ -3,6 +3,7 @@ package telemetry
 import (
 	"io"
 	"log/slog"
+	"time"
 )
 
 // Tracer emits structured run events as NDJSON (one JSON object per
@@ -18,6 +19,13 @@ import (
 // own locking (slog handlers lock around each record write).
 type Tracer struct {
 	log *slog.Logger
+
+	// Span support (span.go). epoch anchors the tracer's monotonic
+	// timebase; clock returns the offset from it (replaceable in tests
+	// for byte-deterministic span records); ids generates span/trace IDs.
+	epoch time.Time
+	clock func() time.Duration
+	ids   *IDSource
 }
 
 // NewTracer returns a tracer writing NDJSON events to w. Wall-clock
@@ -41,8 +49,23 @@ func NewTracer(w io.Writer) *Tracer {
 			return a
 		},
 	})
-	return &Tracer{log: slog.New(h)}
+	t := &Tracer{log: slog.New(h), epoch: time.Now(), ids: NewIDSource()}
+	t.clock = func() time.Duration { return time.Since(t.epoch) }
+	return t
 }
+
+// SeedIDs switches the tracer to a deterministic ID sequence for the
+// given seed (see SeededIDSource). Call before the first StartSpan; it is
+// not synchronized with concurrent span starts.
+func (t *Tracer) SeedIDs(seed int64) {
+	if t == nil {
+		return
+	}
+	t.ids = SeededIDSource(seed)
+}
+
+// now returns the monotonic offset from the tracer epoch.
+func (t *Tracer) now() time.Duration { return t.clock() }
 
 // Enabled reports whether events will be recorded (false for nil).
 func (t *Tracer) Enabled() bool { return t != nil }

@@ -15,11 +15,19 @@
 #                     (first request simulates, the rest are cache hits
 #                     that still report the slow tier).
 #
-# The per-request NDJSON logs land in $OUT_DIR for artifact upload.
+# Tracing runs end to end: the server writes its span log, each loadgen
+# point writes a client span log (different seeds — trace IDs derive from
+# (seed, seq), identical seeds would collide across points), and
+# cmd/traceview joins client records to server trees by trace ID, gating
+# completeness and server-side latency coverage (docs/TRACING.md).
+#
+# The per-request NDJSON logs and span logs land in $OUT_DIR for
+# artifact upload.
 #
 # Environment:
 #   SIMSERVED  path to a prebuilt simserved (default: build ./cmd/simserved)
 #   LOADGEN    path to a prebuilt loadgen   (default: build ./cmd/loadgen)
+#   TRACEVIEW  path to a prebuilt traceview (default: build ./cmd/traceview)
 #   ADDR       listen address (default localhost:18089)
 #   OUT_DIR    NDJSON log directory (default ./load-smoke-artifacts)
 set -euo pipefail
@@ -39,8 +47,14 @@ if [ -z "$LOADGEN_BIN" ]; then
   LOADGEN_BIN=$(mktemp -d)/loadgen
   go build -o "$LOADGEN_BIN" ./cmd/loadgen
 fi
+TRACEVIEW_BIN=${TRACEVIEW:-}
+if [ -z "$TRACEVIEW_BIN" ]; then
+  TRACEVIEW_BIN=$(mktemp -d)/traceview
+  go build -o "$TRACEVIEW_BIN" ./cmd/traceview
+fi
 
-"$SERVER_BIN" -addr "$ADDR" -scale 0.1 -warm IntelUMA8/CG.W &
+"$SERVER_BIN" -addr "$ADDR" -scale 0.1 -warm IntelUMA8/CG.W \
+  -trace-out "$OUT_DIR/server-spans.ndjson" &
 SERVER_PID=$!
 STATUS=1
 cleanup() {
@@ -69,17 +83,19 @@ echo "== analytical point: poisson 80 rps for 15s against the warmed pair"
   -assert-cv2-tol 0.20 \
   -assert-p99 50ms \
   -assert-fit-err 0.25 \
-  -out "$OUT_DIR/analytical.ndjson"
+  -out "$OUT_DIR/analytical.ndjson" \
+  -trace-out "$OUT_DIR/analytical-client-spans.ndjson"
 
 echo "== simulation point: const 4 rps for 10s against a cold pair"
 "$LOADGEN_BIN" -url "http://$ADDR" \
   -machine IntelUMA8 -program EP -class W -cores 4 \
-  -mode const -rps 4 -duration 10s -seed 7 \
+  -mode const -rps 4 -duration 10s -seed 8 \
   -tenant load-smoke \
   -expect-tier simulation \
   -assert-rps-tol 0.15 \
   -assert-p99 5s \
-  -out "$OUT_DIR/simulation.ndjson"
+  -out "$OUT_DIR/simulation.ndjson" \
+  -trace-out "$OUT_DIR/simulation-client-spans.ndjson"
 
 echo "== NDJSON logs are well-formed and complete"
 for f in analytical simulation; do
@@ -98,6 +114,20 @@ echo "$HEALTH" | grep -q '"queue_depth":0'
 
 kill -INT "$SERVER_PID"
 wait "$SERVER_PID" || true
+
+echo "== traceview: analytical point joins the server span log (5% + 2ms)"
+"$TRACEVIEW_BIN" -load "$OUT_DIR/analytical.ndjson" \
+  -assert-complete -assert-join 0.05 -join-slack 2ms \
+  -slo-p99 50ms -slo-tier analytical -require-tiers analytical \
+  -waterfall 0 \
+  "$OUT_DIR/server-spans.ndjson" "$OUT_DIR/analytical-client-spans.ndjson"
+
+echo "== traceview: simulation point joins too (cold simulation request)"
+"$TRACEVIEW_BIN" -load "$OUT_DIR/simulation.ndjson" \
+  -assert-complete -assert-join 0.05 -join-slack 2ms \
+  -require-tiers simulation \
+  -waterfall 1 \
+  "$OUT_DIR/server-spans.ndjson" "$OUT_DIR/simulation-client-spans.ndjson"
 
 echo "PASS: load smoke"
 STATUS=0

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# trace_smoke.sh — end-to-end validation of request-scoped tracing
+# (docs/TRACING.md).
+#
+# Runs two self-served load points — loadgen -self shares ONE tracer
+# between the client, server and runner layers, so each point's span file
+# holds the whole conversation in a single timebase — then cmd/traceview
+# rebuilds the waterfalls and gates:
+#
+#   analytical point  warmed pair, poisson arrivals; every trace tree is
+#                     complete, every 2xx record joins its server tree
+#                     with the server segments covering the client latency
+#                     (5% + 2ms HTTP floor), and the analytical p99 meets
+#                     a 50ms SLO with its burn rate reported.
+#   simulation point  cold pair, so the first request runs a real
+#                     simulation; same completeness/join gates prove the
+#                     runner's queue_wait/execute spans account for a
+#                     simulation-tier request too.
+#
+# The two points use different seeds: trace IDs are derived from
+# (seed, seq), so identical seeds would collide across points.
+#
+# Environment:
+#   LOADGEN    path to a prebuilt loadgen   (default: build ./cmd/loadgen)
+#   TRACEVIEW  path to a prebuilt traceview (default: build ./cmd/traceview)
+#   OUT_DIR    artifact directory (default ./trace-smoke-artifacts)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR=${OUT_DIR:-trace-smoke-artifacts}
+mkdir -p "$OUT_DIR"
+
+LOADGEN_BIN=${LOADGEN:-}
+if [ -z "$LOADGEN_BIN" ]; then
+  LOADGEN_BIN=$(mktemp -d)/loadgen
+  go build -o "$LOADGEN_BIN" ./cmd/loadgen
+fi
+TRACEVIEW_BIN=${TRACEVIEW:-}
+if [ -z "$TRACEVIEW_BIN" ]; then
+  TRACEVIEW_BIN=$(mktemp -d)/traceview
+  go build -o "$TRACEVIEW_BIN" ./cmd/traceview
+fi
+
+echo "== analytical point: warmed CG.W, poisson 200 rps for 5s (seed 11)"
+"$LOADGEN_BIN" -self -warm -scale 0.1 -mode poisson -rps 200 -duration 5s \
+  -seed 11 -expect-tier analytical \
+  -out "$OUT_DIR/analytical.ndjson" \
+  -trace-out "$OUT_DIR/analytical-spans.ndjson"
+
+echo "== simulation point: cold EP.W, const 4 rps for 2s (seed 12)"
+"$LOADGEN_BIN" -self -scale 0.1 -program EP -mode const -rps 4 -duration 2s \
+  -seed 12 -expect-tier simulation \
+  -out "$OUT_DIR/simulation.ndjson" \
+  -trace-out "$OUT_DIR/simulation-spans.ndjson"
+
+echo "== traceview: analytical point — join + SLO burn rate"
+"$TRACEVIEW_BIN" -load "$OUT_DIR/analytical.ndjson" \
+  -assert-complete -assert-join 0.05 -join-slack 2ms \
+  -slo-p99 50ms -slo-tier analytical -require-tiers analytical \
+  -waterfall 1 "$OUT_DIR/analytical-spans.ndjson"
+
+echo "== traceview: simulation point — join on a cold simulation request"
+"$TRACEVIEW_BIN" -load "$OUT_DIR/simulation.ndjson" \
+  -assert-complete -assert-join 0.05 -join-slack 2ms \
+  -require-tiers simulation \
+  -waterfall 1 "$OUT_DIR/simulation-spans.ndjson"
+
+echo "PASS: trace smoke"
