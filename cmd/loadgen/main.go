@@ -59,7 +59,8 @@ func main() {
 		phase    = flag.Duration("phase", 0, "mean MMPP phase length for -mode burst (0 = duration/8)")
 		duration = flag.Duration("duration", 10*time.Second, "schedule horizon")
 		conns    = flag.Int("conns", 16, "keep-alive connection pool size")
-		cores    = flag.Int("cores", 2, "cores field of the predict body (0 = whole machine)")
+		cores    = flag.Int("cores", 2, "cores field of the predict body (0 = whole machine); with -curve, sweep 1..cores")
+		curve    = flag.Bool("curve", false, "drive the streaming curve endpoint instead of predict: one NDJSON-streamed ω(n) sweep per request")
 		tenant   = flag.String("tenant", "", "X-Simserved-Tenant header value")
 		window   = flag.Duration("window", time.Second, "binning window for arrival characterization and the M/M/1 fit")
 		out      = flag.String("out", "", "write the per-request NDJSON log here ('-' = stdout)")
@@ -93,12 +94,25 @@ func main() {
 	if *cores < 0 || *cores > spec.TotalCores() {
 		fatal(fmt.Errorf("cores %d out of range for %s (0..%d)", *cores, spec.Name, spec.TotalCores()))
 	}
-	body, err := json.Marshal(map[string]any{
+	fields := map[string]any{
 		"machine": spec.Name,
 		"program": common.Program,
 		"class":   common.Class,
-		"cores":   *cores,
-	})
+	}
+	if *curve {
+		// The curve body's cores is a sweep; 1..N for -cores N, whole
+		// machine when omitted.
+		if *cores > 0 {
+			sweep := make([]int, *cores)
+			for i := range sweep {
+				sweep[i] = i + 1
+			}
+			fields["cores"] = sweep
+		}
+	} else {
+		fields["cores"] = *cores
+	}
+	body, err := json.Marshal(fields)
 	if err != nil {
 		fatal(err)
 	}
@@ -142,6 +156,7 @@ func main() {
 		Conns:    *conns,
 		Seed:     common.Seed,
 		Tracer:   tracer,
+		Curve:    *curve,
 	})
 	if runErr != nil && len(records) == 0 {
 		fatal(runErr)
@@ -152,6 +167,16 @@ func main() {
 
 	if err := writeLog(*out, records); err != nil {
 		fatal(err)
+	}
+
+	// Curve mode logs per-point records, not per-request latencies; the
+	// M/M/1 report machinery does not apply. Summarize the sweeps instead.
+	if *curve {
+		curveSummary(os.Stderr, records)
+		if runErr != nil {
+			fatal(runErr)
+		}
+		return
 	}
 
 	rep, err := load.BuildReport(records, load.Options{
@@ -217,6 +242,42 @@ func selfServe(ctx context.Context, common *cli.Common, tracer *telemetry.Tracer
 		_ = hs.Shutdown(shutdownCtx)
 	}
 	return shutdown, ln.Addr().String(), nil
+}
+
+// curveSummary prints the curve-mode end-of-run digest: how many sweeps
+// ran, how their points split across tiers, and the mean arrival offset
+// per tier — the number that shows analytical points landing ahead of
+// simulated ones on a shared stream.
+func curveSummary(w *os.File, records []load.Record) {
+	var curves, failed int
+	pointCount := map[string]int{}
+	pointMs := map[string]float64{}
+	var errs int
+	for _, rec := range records {
+		switch rec.Kind {
+		case "curve":
+			curves++
+			if rec.Error != "" {
+				failed++
+			}
+		case "point":
+			if rec.Error != "" {
+				errs++
+				continue
+			}
+			pointCount[rec.Tier]++
+			pointMs[rec.Tier] += rec.PointMs
+		}
+	}
+	fmt.Fprintf(w, "loadgen: %d curve requests (%d failed)\n", curves, failed)
+	for _, tier := range []string{"analytical", "simulation"} {
+		if n := pointCount[tier]; n > 0 {
+			fmt.Fprintf(w, "loadgen:   %-10s %5d points, mean arrival %+8.3fms\n", tier, n, pointMs[tier]/float64(n))
+		}
+	}
+	if errs > 0 {
+		fmt.Fprintf(w, "loadgen:   %-10s %5d points\n", "errored", errs)
+	}
 }
 
 // writeLog writes the NDJSON request log to path ("" = skip, "-" = stdout).

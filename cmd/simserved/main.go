@@ -2,15 +2,17 @@
 // capacity-planning queries ("what is ω(n) for this machine × workload ×
 // scale?") answered in microseconds by the fitted analytical model when
 // it is trustworthy, and by full simulation — cached, deduplicated,
-// journaled — when it is not. docs/SERVER.md is the API reference and
-// operations guide; docs/MODEL.md derives the analytical tier.
+// journaled — when it is not. docs/API.md is the wire reference,
+// docs/SERVER.md the operations guide; docs/MODEL.md derives the
+// analytical tier.
 //
 // Usage:
 //
 //	simserved -addr localhost:8080 -scale 0.25 -jobs 4
 //	simserved -warm IntelUMA8/CG.C,IntelNUMA24/CG.C -journal simserved.ndjson
 //
-// Endpoints: POST /v1/predict, GET /v1/catalog, GET /healthz,
+// Endpoints: POST /v1/predict, POST /v1/curve (whole ω(n) sweeps,
+// batched JSON or streaming NDJSON), GET /v1/catalog, GET /healthz,
 // GET /metrics (Prometheus), /debug/pprof. The X-Simserved-Tier response
 // header reports which tier answered.
 //

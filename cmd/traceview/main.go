@@ -62,7 +62,8 @@ type trace struct {
 	spans []*span
 	byID  map[string]*span
 	// client is the load.request root span (when the client's span file
-	// was given); server is the server.request root.
+	// was given); server is the server root: server.request for one
+	// predict, server.curve for a whole sweep.
 	client *span
 	server *span
 }
@@ -136,7 +137,7 @@ func buildTraces(spans []*span) map[string]*trace {
 		switch s.Name {
 		case "load.request":
 			t.client = s
-		case "server.request":
+		case "server.request", "server.curve":
 			t.server = s
 		}
 	}
@@ -154,7 +155,7 @@ func (t *trace) problems() []string {
 	}
 	serverCount, clientCount := 0, 0
 	for _, s := range t.spans {
-		if s.Name == "server.request" {
+		if s.Name == "server.request" || s.Name == "server.curve" {
 			serverCount++
 		}
 		if s.Name == "load.request" {
@@ -163,7 +164,7 @@ func (t *trace) problems() []string {
 		if s.EndUs < s.StartUs {
 			out = append(out, fmt.Sprintf("%s ends before it starts", s.Name))
 		}
-		if s.Parent == "" || s.Name == "server.request" || s.Name == "load.request" {
+		if s.Parent == "" || s.Name == "server.request" || s.Name == "server.curve" || s.Name == "load.request" {
 			continue
 		}
 		p, ok := t.byID[s.Parent]
@@ -176,7 +177,7 @@ func (t *trace) problems() []string {
 		}
 	}
 	if serverCount > 1 {
-		out = append(out, fmt.Sprintf("%d server.request spans", serverCount))
+		out = append(out, fmt.Sprintf("%d server root spans", serverCount))
 	}
 	if clientCount > 1 {
 		out = append(out, fmt.Sprintf("%d load.request spans", clientCount))

@@ -318,3 +318,24 @@ func TestRunUsageErrors(t *testing.T) {
 		t.Errorf("missing file: exit %d, want 2", code)
 	}
 }
+
+// TestCurveRootRecognized: a server.curve root with overlapping
+// server.point children is a complete trace, same as server.request.
+func TestCurveRootRecognized(t *testing.T) {
+	spans := mustParse(t, []string{
+		line("server.curve", "t9", "r", "", 0, 1000, map[string]any{"status": 200}),
+		line("server.parse", "t9", "p", "r", 0, 10, nil),
+		line("server.model", "t9", "m", "r", 10, 20, nil),
+		line("server.admit", "t9", "a", "r", 20, 25, nil),
+		line("server.point", "t9", "p1", "r", 25, 30, nil),
+		line("server.point", "t9", "p2", "r", 25, 900, nil),
+		line("server.point", "t9", "p3", "r", 25, 950, nil),
+	})
+	tr := buildTraces(spans)["t9"]
+	if tr.server == nil || tr.server.Name != "server.curve" {
+		t.Fatalf("server.curve root not recognized: %+v", tr.server)
+	}
+	if probs := tr.problems(); len(probs) != 0 {
+		t.Errorf("curve trace reported problems: %v", probs)
+	}
+}

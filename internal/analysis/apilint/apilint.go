@@ -1,0 +1,144 @@
+// Package apilint implements the wire-protocol analyzer of the simcheck
+// suite.
+//
+// internal/api is the single home of the v1 HTTP wire contract: every
+// JSON body the server writes or the clients decode, every header name,
+// every path. The golden tests in internal/api pin those bytes; a
+// json-tagged struct declared elsewhere in the serving stack is a wire
+// type the goldens cannot see, and history says it drifts. apilint
+// rejects, at vet time:
+//
+//   - struct type declarations with json-tagged fields inside the
+//     serving packages (internal/server, internal/load) — wire structs
+//     belong in internal/api where the golden tests cover them
+//   - json tag names that are not lower snake_case, anywhere in the
+//     serving packages or internal/api itself — the wire vocabulary is
+//     snake_case by contract (docs/API.md)
+//
+// A struct that is deliberately exempt — a local schema whose contract
+// is something other than the HTTP API, like the load harness's NDJSON
+// log record — carries //simcheck:allow(apilint) <justification>.
+package apilint
+
+import (
+	"go/ast"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/simdir"
+)
+
+// Name is the analyzer name used in diagnostics and allow directives.
+const Name = "apilint"
+
+// DefaultPackages matches the serving stack, where wire structs are
+// banned: the HTTP server and the load-generation client.
+const DefaultPackages = `(^|/)internal/(server|load)($|/)`
+
+// DefaultTagPackages matches everywhere the snake_case tag rule applies:
+// the serving stack plus the wire package itself.
+const DefaultTagPackages = `(^|/)internal/(api|server|load)($|/)`
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "keep HTTP wire structs in internal/api and json tag names lower snake_case",
+	Run:  run,
+}
+
+var (
+	pkgPattern    string
+	tagPkgPattern string
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgPattern, "pkgs", DefaultPackages,
+		"regexp of package import paths where json-tagged structs are banned")
+	Analyzer.Flags.StringVar(&tagPkgPattern, "tagpkgs", DefaultTagPackages,
+		"regexp of package import paths where json tag names must be lower snake_case")
+}
+
+// snakeRE is the wire vocabulary: lower snake_case, starting with a
+// letter.
+var snakeRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	banRE, err := regexp.Compile(pkgPattern)
+	if err != nil {
+		return nil, err
+	}
+	tagRE, err := regexp.Compile(tagPkgPattern)
+	if err != nil {
+		return nil, err
+	}
+	banned := banRE.MatchString(pass.Pkg.Path())
+	tagged := tagRE.MatchString(pass.Pkg.Path())
+	if !banned && !tagged {
+		return nil, nil
+	}
+	dir := simdir.Parse(pass)
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // test fixtures and stubs are not wire surface
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			checkStruct(pass, dir, ts, st, banned, tagged)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkStruct inspects one struct declaration: in banned packages any
+// json-tagged field makes the whole type a misplaced wire struct; in
+// tag-checked packages every json tag name must be snake_case.
+func checkStruct(pass *analysis.Pass, dir *simdir.Directives, ts *ast.TypeSpec, st *ast.StructType, banned, tagged bool) {
+	reportedWire := false
+	for _, field := range st.Fields.List {
+		tag, ok := jsonTag(field)
+		if !ok {
+			continue
+		}
+		if banned && !reportedWire {
+			reportedWire = true
+			dir.Report(pass, Name, ts.Pos(),
+				"struct %s has json-tagged fields: wire structs belong in internal/api where the golden tests pin their bytes", ts.Name.Name)
+		}
+		name := tag
+		if i := strings.IndexByte(name, ','); i >= 0 {
+			name = name[:i]
+		}
+		if name == "" || name == "-" {
+			continue
+		}
+		if tagged && !snakeRE.MatchString(name) {
+			dir.Report(pass, Name, field.Pos(),
+				"json tag %q is not lower snake_case; the wire vocabulary is snake_case by contract", name)
+		}
+	}
+}
+
+// jsonTag extracts the json struct tag of a field, reporting whether one
+// is present.
+func jsonTag(field *ast.Field) (string, bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return "", false
+	}
+	return reflect.StructTag(raw).Lookup("json")
+}

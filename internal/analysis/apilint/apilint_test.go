@@ -1,0 +1,12 @@
+package apilint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/apilint"
+)
+
+func TestApilint(t *testing.T) {
+	analyzertest.Run(t, "testdata", apilint.Analyzer, "internal/server", "internal/api", "other")
+}

@@ -1,0 +1,19 @@
+// Package api is an apilint fixture standing in for the wire package:
+// json-tagged structs are at home here, but tag names must still be
+// lower snake_case.
+package api
+
+// PredictRequest is a wire struct where it belongs: no diagnostic.
+type PredictRequest struct {
+	Machine string `json:"machine"`
+	Cores   int    `json:"cores,omitempty"`
+}
+
+// BadVocabulary breaks the snake_case contract three ways.
+type BadVocabulary struct {
+	ConfigHash string `json:"configHash"`  // want `json tag "configHash" is not lower snake_case`
+	MCs        int    `json:"MCs"`         // want `json tag "MCs" is not lower snake_case`
+	Kebab      string `json:"kebab-case"`  // want `json tag "kebab-case" is not lower snake_case`
+	Fine       string `json:"fine_name_2"` // snake_case: fine
+	Skipped    string `json:"-"`           // opt-out: fine
+}

@@ -1,0 +1,39 @@
+// Package server is an apilint fixture standing in for the serving
+// stack, where json-tagged structs are banned.
+package server
+
+// predictRequest is a misplaced wire struct: json tags in a serving
+// package.
+type predictRequest struct { // want `struct predictRequest has json-tagged fields: wire structs belong in internal/api`
+	Machine string `json:"machine"`
+	Cores   int    `json:"cores,omitempty"`
+}
+
+// badTag is flagged twice: once as a misplaced wire struct, once for the
+// camelCase tag name.
+type badTag struct { // want `struct badTag has json-tagged fields`
+	ConfigHash string `json:"configHash"` // want `json tag "configHash" is not lower snake_case`
+}
+
+// plain carries no json tags: an internal struct, not wire surface.
+type plain struct {
+	Machine string
+	Cores   int
+}
+
+// ignored uses only the json:"-" opt-out, but the tag's presence still
+// marks it as reaching for the wire.
+type ignored struct { // want `struct ignored has json-tagged fields`
+	Secret string `json:"-"`
+}
+
+// yamlOnly uses a non-json tag vocabulary: not apilint's business.
+type yamlOnly struct {
+	Machine string `yaml:"machine"`
+}
+
+//simcheck:allow(apilint) local log schema pinned by its own golden file, not an HTTP wire type
+type allowedRecord struct {
+	Seq       int     `json:"seq"`
+	LatencyMs float64 `json:"latency_ms"`
+}

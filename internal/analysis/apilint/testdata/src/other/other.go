@@ -1,0 +1,7 @@
+// Package other is outside the serving stack and the wire package:
+// nothing is flagged.
+package other
+
+type record struct {
+	Name string `json:"camelCase"`
+}

@@ -8,6 +8,7 @@ package analysis
 import (
 	goanalysis "golang.org/x/tools/go/analysis"
 
+	"repro/internal/analysis/apilint"
 	"repro/internal/analysis/ctxfirst"
 	"repro/internal/analysis/detlint"
 	"repro/internal/analysis/errlint"
@@ -23,5 +24,6 @@ func Analyzers() []*goanalysis.Analyzer {
 		ctxfirst.Analyzer,
 		tracelint.Analyzer,
 		errlint.Analyzer,
+		apilint.Analyzer,
 	}
 }

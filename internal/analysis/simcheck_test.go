@@ -9,10 +9,10 @@ import (
 	simcheck "repro/internal/analysis"
 )
 
-// TestAnalyzerNamesAndDocs pins the suite composition: five analyzers,
+// TestAnalyzerNamesAndDocs pins the suite composition: six analyzers,
 // stable names (the allow-directive grammar depends on them), docs set.
 func TestAnalyzerNamesAndDocs(t *testing.T) {
-	want := []string{"detlint", "hotpath", "ctxfirst", "tracelint", "errlint"}
+	want := []string{"detlint", "hotpath", "ctxfirst", "tracelint", "errlint", "apilint"}
 	as := simcheck.Analyzers()
 	if len(as) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(as), len(want))

@@ -501,6 +501,43 @@ func (r *Runner) RunAll(ctx context.Context, items []RunItem) ([]sim.Result, err
 	return results, nil
 }
 
+// StreamResult is one completed item of a RunStream batch: the item's
+// index in the submitted slice, and the result or error of its run.
+type StreamResult struct {
+	// Index is the position of the completed item in the RunStream
+	// items slice.
+	Index int
+	// Res is the simulation result; zero when Err is non-nil.
+	Res sim.Result
+	// Err is the item's failure (cancellation included), nil on success.
+	Err error
+}
+
+// RunStream submits a batch like RunAll but delivers each result the
+// moment its simulation settles, in completion order — cache hits and
+// coalesced duplicates arrive first, cold runs as the worker pool
+// finishes them. Every submitted item yields exactly one StreamResult
+// (failed and canceled items carry Err), then the channel closes. The
+// caller must drain the channel; cancelling ctx fails the remaining
+// items promptly, so draining after cancel is cheap.
+func (r *Runner) RunStream(ctx context.Context, items []RunItem) <-chan StreamResult {
+	out := make(chan StreamResult)
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i int, it RunItem) {
+			defer wg.Done()
+			res, err := r.Run(ctx, it.Spec, it.Program, it.Class, it.Cores)
+			out <- StreamResult{Index: i, Res: res, Err: err}
+		}(i, it)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
 // KeyFor returns the cache key this runner uses for one simulation: the
 // (machine, program, class, cores) coordinate plus the runner's workload
 // scale. It is the content address of a run — the persistent cache, the

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestRunStreamDeliversAll checks every item arrives exactly once with
+// its original index, and that the results match a sequential Run of the
+// same specs (the stream path shares the cache and singleflight).
+func TestRunStreamDeliversAll(t *testing.T) {
+	r := NewRunner(quickTune)
+	spec := machine.IntelUMA8()
+	items := []RunItem{
+		{Spec: spec, Program: "CG", Class: workload.W, Cores: 1},
+		{Spec: spec, Program: "CG", Class: workload.W, Cores: 2},
+		{Spec: spec, Program: "CG", Class: workload.W, Cores: 3},
+		{Spec: spec, Program: "EP", Class: workload.W, Cores: 2},
+	}
+
+	got := make(map[int]sim.Result)
+	for sr := range r.RunStream(context.Background(), items) {
+		if sr.Err != nil {
+			t.Fatalf("item %d: %v", sr.Index, sr.Err)
+		}
+		if _, dup := got[sr.Index]; dup {
+			t.Fatalf("item %d delivered twice", sr.Index)
+		}
+		got[sr.Index] = sr.Res
+	}
+	if len(got) != len(items) {
+		t.Fatalf("delivered %d results, want %d", len(got), len(items))
+	}
+	for i, it := range items {
+		want, err := r.Run(context.Background(), it.Spec, it.Program, it.Class, it.Cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].TotalCycles != want.TotalCycles {
+			t.Errorf("item %d: streamed %d cycles, sequential %d", i, got[i].TotalCycles, want.TotalCycles)
+		}
+	}
+}
+
+// TestRunStreamCanceled checks a canceled context still delivers one
+// terminal result per item (carrying the cancellation) and closes the
+// channel — a curve request that vanishes must not leak goroutines or
+// strand the drain loop.
+func TestRunStreamCanceled(t *testing.T) {
+	r := NewRunner(quickTune)
+	spec := machine.IntelUMA8()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := []RunItem{
+		{Spec: spec, Program: "CG", Class: workload.W, Cores: 1},
+		{Spec: spec, Program: "CG", Class: workload.W, Cores: 2},
+	}
+	n := 0
+	for sr := range r.RunStream(ctx, items) {
+		n++
+		if sr.Err == nil {
+			t.Errorf("item %d: nil error under canceled context", sr.Index)
+		} else if !errors.Is(sr.Err, sim.ErrCanceled) && !errors.Is(sr.Err, context.Canceled) {
+			t.Errorf("item %d: err = %v, want cancellation", sr.Index, sr.Err)
+		}
+	}
+	if n != len(items) {
+		t.Errorf("delivered %d results, want %d (one terminal result per item)", n, len(items))
+	}
+}
+
+// TestRunStreamUnknownWorkload checks per-item errors flow through the
+// stream without poisoning the other items.
+func TestRunStreamUnknownWorkload(t *testing.T) {
+	r := NewRunner(quickTune)
+	spec := machine.IntelUMA8()
+	items := []RunItem{
+		{Spec: spec, Program: "CG", Class: workload.W, Cores: 1},
+		{Spec: spec, Program: "NOPE", Class: workload.W, Cores: 1},
+	}
+	errs := make(map[int]error)
+	for sr := range r.RunStream(context.Background(), items) {
+		errs[sr.Index] = sr.Err
+	}
+	if errs[0] != nil {
+		t.Errorf("item 0: %v, want success", errs[0])
+	}
+	if errs[1] == nil {
+		t.Error("item 1: nil error for unknown program")
+	}
+}

@@ -18,7 +18,10 @@
 //   - Run: the open-loop driver. One goroutine dispatches at schedule
 //     offsets, one goroutine per in-flight request measures first-byte
 //     and total latency (net/http/httptrace) and captures the
-//     X-Simserved-Tier header.
+//     X-Simserved-Tier header. Config.Curve switches the harness to the
+//     streaming curve endpoint: one NDJSON-streamed ω(n) sweep per
+//     scheduled request, logging a "point" record per frame with its
+//     arrival offset.
 //   - BuildReport: bins send times into windows (burst.Bin), classifies
 //     the achieved stream (burst.Analyze), and fits the per-tier mean
 //     latency against T = 1/(μ−λ) — see docs/LOADGEN.md for how to read

@@ -14,16 +14,15 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/server"
+	"repro/internal/api"
 	"repro/internal/telemetry"
 )
-
-// PredictPath is the endpoint the harness drives.
-const PredictPath = "/v1/predict"
 
 // Record is one NDJSON line of the request log. Field set and order are
 // pinned by a golden test — downstream tooling (jq recipes in
 // docs/LOADGEN.md, the CI artifact consumers) greps these names.
+//
+//simcheck:allow(apilint) Record is the harness's NDJSON log schema, not an HTTP wire type; its contract is the golden file, not internal/api.
 type Record struct {
 	// Seq is the schedule index of the request.
 	Seq int `json:"seq"`
@@ -39,6 +38,7 @@ type Record struct {
 	// Status is the HTTP status, or 0 on transport error.
 	Status int `json:"status"`
 	// Tier echoes the X-Simserved-Tier response header ("" on errors).
+	// On curve point records it is the point's tier field instead.
 	Tier string `json:"tier"`
 	// Tenant echoes the X-Simserved-Tenant request header, when set.
 	Tenant string `json:"tenant,omitempty"`
@@ -47,19 +47,39 @@ type Record struct {
 	// Seq). It joins this record to the server's span log (cmd/traceview)
 	// and to the X-Simserved-Trace response header.
 	TraceID string `json:"trace_id,omitempty"`
-	// ConfigHash echoes the X-Simserved-Config-Hash response header: the
-	// content address of the answered query ("" on errors and non-2xx).
+	// ConfigHash echoes the X-Simserved-Config-Hash response header (the
+	// point's config_hash field on curve point records): the content
+	// address of the answered query ("" on errors and non-2xx).
 	ConfigHash string `json:"config_hash,omitempty"`
-	// Error is the transport error, when any.
+	// Error is the transport error — or, on curve point records, the
+	// point's error (shed, canceled, failed) — when any.
 	Error string `json:"error,omitempty"`
+
+	// Kind distinguishes curve-mode records: "curve" for the request
+	// itself, "point" for each streamed curve point (sharing the
+	// parent's Seq). Empty on predict-mode records, so the predict log
+	// schema is byte-identical to before curve mode existed.
+	Kind string `json:"kind,omitempty"`
+	// Cores is the point's core count (curve point records only).
+	Cores int `json:"cores,omitempty"`
+	// PointMs is the offset from request send to the point's frame
+	// arrival (curve point records only) — the per-point streaming
+	// latency the batched mode cannot observe.
+	PointMs float64 `json:"point_ms,omitempty"`
 }
 
 // Config wires one open-loop run.
 type Config struct {
 	// BaseURL is the server under test, e.g. "http://localhost:8080".
 	BaseURL string
-	// Body is the POST /v1/predict payload sent on every request.
+	// Body is the POST payload sent on every request (a predict body, or
+	// a curve body when Curve is set).
 	Body []byte
+	// Curve switches the harness to the streaming curve endpoint: each
+	// request POSTs Body to /v1/curve with Accept: application/x-ndjson
+	// and logs one "curve" record per request plus one "point" record
+	// per streamed frame.
+	Curve bool
 	// Schedule holds the send offsets (see Schedule).
 	Schedule []time.Duration
 	// Tenant, when non-empty, is sent as X-Simserved-Tenant.
@@ -85,10 +105,10 @@ var ErrNoSchedule = errors.New("load: empty schedule")
 // Run drives the schedule open-loop: requests fire at their offsets
 // regardless of how many are still in flight, so a slow server faces the
 // configured offered load instead of throttling it. The returned records
-// are ordered by Seq and complete — one per scheduled request, errors
-// included. Cancelling ctx stops dispatching and aborts in-flight
-// requests; the records dispatched so far are still returned, alongside
-// the context's error.
+// are ordered by Seq and complete — one per scheduled request (plus one
+// per streamed point in curve mode), errors included. Cancelling ctx
+// stops dispatching and aborts in-flight requests; the records
+// dispatched so far are still returned, alongside the context's error.
 func Run(ctx context.Context, cfg Config) ([]Record, error) {
 	if len(cfg.Schedule) == 0 {
 		return nil, ErrNoSchedule
@@ -106,7 +126,10 @@ func Run(ctx context.Context, cfg Config) ([]Record, error) {
 		client = &http.Client{Transport: transport}
 		defer transport.CloseIdleConnections()
 	}
-	url := cfg.BaseURL + PredictPath
+	url := cfg.BaseURL + api.PathPredict
+	if cfg.Curve {
+		url = cfg.BaseURL + api.PathCurve
+	}
 	if cfg.Tracer.Enabled() {
 		cfg.Tracer.Emit("load.start",
 			"url", url, "requests", len(cfg.Schedule), "tenant", cfg.Tenant, "seed", cfg.Seed)
@@ -143,14 +166,21 @@ dispatch:
 		wg.Add(1)
 		go func(seq int, scheduled time.Duration) {
 			defer wg.Done()
-			rec := fire(ctx, client, url, cfg, seq, scheduled, start)
+			var recs []Record
+			if cfg.Curve {
+				recs = fireCurve(ctx, client, url, cfg, seq, scheduled, start)
+			} else {
+				recs = []Record{fire(ctx, client, url, cfg, seq, scheduled, start)}
+			}
 			mu.Lock()
-			records = append(records, rec)
+			records = append(records, recs...)
 			mu.Unlock()
 		}(i, off)
 	}
 	wg.Wait()
-	sort.Slice(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
+	// Stable, so a request's point records keep their stream order
+	// behind their parent record.
+	sort.SliceStable(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
 	if cfg.Tracer.Enabled() {
 		cfg.Tracer.Emit("load.done",
 			"dispatched", dispatched, "elapsed_ms", float64(time.Since(start).Microseconds())/1000)
@@ -183,10 +213,10 @@ func fire(ctx context.Context, client *http.Client, url string, cfg Config, seq 
 		rec.Error = err.Error()
 		return rec
 	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(server.HeaderTraceparent, sc.Traceparent())
+	req.Header.Set("Content-Type", api.ContentTypeJSON)
+	req.Header.Set(api.HeaderTraceparent, sc.Traceparent())
 	if cfg.Tenant != "" {
-		req.Header.Set(server.HeaderTenant, cfg.Tenant)
+		req.Header.Set(api.HeaderTenant, cfg.Tenant)
 	}
 	span := cfg.Tracer.StartSpanAt(sc, "load.request")
 	defer func() { span.End("seq", rec.Seq, "status", rec.Status, "tier", rec.Tier) }()
@@ -206,14 +236,106 @@ func fire(ctx context.Context, client *http.Client, url string, cfg Config, seq 
 		rec.FirstByteMs = rec.TotalMs
 	}
 	rec.Status = resp.StatusCode
-	rec.Tier = resp.Header.Get(server.HeaderTier)
+	rec.Tier = resp.Header.Get(api.HeaderTier)
 	if rec.Status >= 200 && rec.Status < 300 {
-		rec.ConfigHash = resp.Header.Get(server.HeaderConfigHash)
+		rec.ConfigHash = resp.Header.Get(api.HeaderConfigHash)
 	}
 	if copyErr != nil {
 		rec.Error = copyErr.Error()
 	}
 	return rec
+}
+
+// fireCurve sends one streaming curve request, reading NDJSON frames as
+// they arrive: the returned slice holds the parent "curve" record
+// followed by one "point" record per streamed point, each stamped with
+// its arrival offset (PointMs) — the measurement that shows analytical
+// points landing while simulation points are still running.
+func fireCurve(ctx context.Context, client *http.Client, url string, cfg Config, seq int, scheduled time.Duration, start time.Time) []Record {
+	sc := telemetry.DeriveSpanContext(cfg.Seed, int64(seq))
+	parent := Record{
+		Seq:         seq,
+		Kind:        "curve",
+		ScheduledMs: durationMs(scheduled),
+		Tenant:      cfg.Tenant,
+		TraceID:     sc.Trace.String(),
+	}
+	var sent time.Time
+	var firstByte time.Duration
+	trace := &httptrace.ClientTrace{
+		GotFirstResponseByte: func() { firstByte = time.Since(sent) },
+	}
+	req, err := http.NewRequestWithContext(httptrace.WithClientTrace(ctx, trace),
+		http.MethodPost, url, bytes.NewReader(cfg.Body))
+	if err != nil {
+		parent.Error = err.Error()
+		return []Record{parent}
+	}
+	req.Header.Set("Content-Type", api.ContentTypeJSON)
+	req.Header.Set("Accept", api.ContentTypeNDJSON)
+	req.Header.Set(api.HeaderTraceparent, sc.Traceparent())
+	if cfg.Tenant != "" {
+		req.Header.Set(api.HeaderTenant, cfg.Tenant)
+	}
+	span := cfg.Tracer.StartSpanAt(sc, "load.request")
+	defer func() { span.End("seq", parent.Seq, "status", parent.Status, "tier", parent.Tier) }()
+	sent = time.Now()
+	parent.SendMs = durationMs(sent.Sub(start))
+	resp, err := client.Do(req)
+	if err != nil {
+		parent.Error = err.Error()
+		return []Record{parent}
+	}
+	defer resp.Body.Close()
+	parent.Status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		var apiErr api.Error
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil {
+			parent.Error = apiErr.Error
+		}
+		parent.TotalMs = durationMs(time.Since(sent))
+		parent.FirstByteMs = parent.TotalMs
+		return []Record{parent}
+	}
+
+	points := make([]Record, 0, 8)
+	sc2 := bufio.NewScanner(resp.Body)
+	sc2.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc2.Scan() {
+		arrived := time.Since(sent)
+		line := bytes.TrimSpace(sc2.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var frame api.CurveFrame
+		if err := json.Unmarshal(line, &frame); err != nil {
+			parent.Error = fmt.Sprintf("bad frame: %v", err)
+			break
+		}
+		if frame.Point != nil {
+			points = append(points, Record{
+				Seq:        seq,
+				Kind:       "point",
+				Cores:      frame.Point.Cores,
+				Tier:       frame.Point.Tier,
+				ConfigHash: frame.Point.ConfigHash,
+				PointMs:    durationMs(arrived),
+				Tenant:     cfg.Tenant,
+				TraceID:    parent.TraceID,
+				Error:      frame.Point.Error,
+			})
+		}
+	}
+	if err := sc2.Err(); err != nil && parent.Error == "" {
+		parent.Error = err.Error()
+	}
+	parent.TotalMs = durationMs(time.Since(sent))
+	if firstByte > 0 {
+		parent.FirstByteMs = durationMs(firstByte)
+	} else {
+		parent.FirstByteMs = parent.TotalMs
+	}
+	return append([]Record{parent}, points...)
 }
 
 // WriteNDJSON writes one JSON object per record, in input order.

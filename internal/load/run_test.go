@@ -12,7 +12,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/server"
+	"repro/internal/api"
 	"repro/internal/telemetry"
 )
 
@@ -46,9 +46,9 @@ func (s *stubServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.lastTrace.Store(r.Header.Get(server.HeaderTraceparent))
-	w.Header().Set(server.HeaderTier, "analytical")
-	w.Header().Set(server.HeaderConfigHash, stubConfigHash)
+	s.lastTrace.Store(r.Header.Get(api.HeaderTraceparent))
+	w.Header().Set(api.HeaderTier, "analytical")
+	w.Header().Set(api.HeaderConfigHash, stubConfigHash)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write([]byte(`{"omega":0.1}`))
 }

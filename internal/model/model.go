@@ -225,18 +225,38 @@ func (p *Predictor) Analytical(spec machine.Spec, program string, class workload
 		// is simply not answerable.
 		return Prediction{}, DeclineNoFit
 	}
+	entry, gate := p.lookupFit(spec, program, class)
+	if gate != "" {
+		return Prediction{}, p.decline(gate, spec, program, class, cores)
+	}
+	return p.analyticalAt(entry, spec, program, class, cores)
+}
+
+// lookupFit resolves the pair's stored fit and applies the fit-level
+// confidence gates (existence, R², residual). An empty DeclineReason
+// means the entry is trustworthy; the per-point saturation check stays
+// in analyticalAt.
+func (p *Predictor) lookupFit(spec machine.Spec, program string, class workload.Class) (fitEntry, DeclineReason) {
 	p.mu.RLock()
 	entry, ok := p.fits[fitKey{spec.Name, program, class, p.Scale()}]
 	p.mu.RUnlock()
 	if !ok {
-		return Prediction{}, p.decline(DeclineNoFit, spec, program, class, cores)
+		return fitEntry{}, DeclineNoFit
 	}
 	if entry.info.R2 < p.minR2() {
-		return Prediction{}, p.decline(DeclineLowR2, spec, program, class, cores)
+		return entry, DeclineLowR2
 	}
 	if entry.info.Residual > p.maxResidual() {
-		return Prediction{}, p.decline(DeclineResidual, spec, program, class, cores)
+		return entry, DeclineResidual
 	}
+	return entry, ""
+}
+
+// analyticalAt evaluates one core count against an already-gated fit
+// entry — the shared tail of Analytical and AnalyticalCurve, so a curve
+// point and a single query at the same coordinate are computed by the
+// same arithmetic.
+func (p *Predictor) analyticalAt(entry fitEntry, spec machine.Spec, program string, class workload.Class, cores int) (Prediction, DeclineReason) {
 	cn := entry.model.C(cores)
 	if math.IsInf(cn, 0) || cn <= 0 {
 		return Prediction{}, p.decline(DeclineSaturated, spec, program, class, cores)
@@ -257,6 +277,32 @@ func (p *Predictor) Analytical(spec machine.Spec, program string, class workload
 		Fit:            &info,
 		ConfigHash:     ConfigHash(p.key(spec, program, class, cores)),
 	}, ""
+}
+
+// AnalyticalCurve evaluates the fitted closed form at every requested
+// core count with a single fit lookup — the whole-curve counterpart of
+// Analytical, for serving ω(n) sweeps. It returns parallel slices:
+// point i is answered iff reasons[i] is empty. The fit-level gates
+// (no_fit, low_r2, high_residual) decline every point alike; saturation
+// declines per point, so a curve can mix tiers only past the fitted
+// μ/L. Like Analytical, it never simulates and never blocks on the
+// runner.
+func (p *Predictor) AnalyticalCurve(spec machine.Spec, program string, class workload.Class, cores []int) ([]Prediction, []DeclineReason) {
+	preds := make([]Prediction, len(cores))
+	reasons := make([]DeclineReason, len(cores))
+	entry, gate := p.lookupFit(spec, program, class)
+	for i, n := range cores {
+		if n < 1 || n > spec.TotalCores() {
+			reasons[i] = DeclineNoFit
+			continue
+		}
+		if gate != "" {
+			reasons[i] = p.decline(gate, spec, program, class, n)
+			continue
+		}
+		preds[i], reasons[i] = p.analyticalAt(entry, spec, program, class, n)
+	}
+	return preds, reasons
 }
 
 // decline records one analytical refusal on the telemetry sinks and
@@ -296,6 +342,14 @@ func (p *Predictor) Predict(ctx context.Context, spec machine.Spec, program stri
 		return Prediction{}, err
 	}
 	p.refitFromCache(ctx, spec, program, class)
+	return p.simPrediction(spec, program, class, cores, res, base), nil
+}
+
+// simPrediction assembles a simulation-tier Prediction from a measured
+// run and its single-core baseline — the shared tail of Predict and
+// PredictStream, so a streamed curve point and a single query at the
+// same coordinate carry identical values.
+func (p *Predictor) simPrediction(spec machine.Spec, program string, class workload.Class, cores int, res, base sim.Result) Prediction {
 	return Prediction{
 		Machine:        spec.Name,
 		Program:        program,
@@ -309,7 +363,51 @@ func (p *Predictor) Predict(ctx context.Context, spec machine.Spec, program stri
 		MCUtilization:  simMCUtil(spec, res),
 		Tier:           TierSimulation,
 		ConfigHash:     ConfigHash(p.key(spec, program, class, cores)),
-	}, nil
+	}
+}
+
+// PredictStream answers many simulation-tier core counts of one
+// (machine, program, class) pair through the runner's worker pool,
+// invoking fn once per index in completion order — cache hits first,
+// cold runs as they finish. The single-core ω baseline is run (or
+// fetched from cache) before the batch so each point can be assembled
+// the moment its own run settles. fn is called from one goroutine, never
+// concurrently, and exactly once per index: failed and canceled points
+// carry the error. After the batch settles the pair is opportunistically
+// refitted from cache, so a served curve migrates the pair to the
+// analytical tier just like N individual Predict calls would.
+func (p *Predictor) PredictStream(ctx context.Context, spec machine.Spec, program string, class workload.Class, cores []int, fn func(i int, pred Prediction, err error)) {
+	valid := make([]int, 0, len(cores))
+	for i, n := range cores {
+		if n < 1 || n > spec.TotalCores() {
+			fn(i, Prediction{}, fmt.Errorf("%w: %d on %s (1..%d)", ErrBadCores, n, spec.Name, spec.TotalCores()))
+			continue
+		}
+		valid = append(valid, i)
+	}
+	if len(valid) == 0 {
+		return
+	}
+	base, err := p.runner.Run(ctx, spec, program, class, 1)
+	if err != nil {
+		for _, i := range valid {
+			fn(i, Prediction{}, err)
+		}
+		return
+	}
+	items := make([]experiments.RunItem, len(valid))
+	for j, i := range valid {
+		items[j] = experiments.RunItem{Spec: spec, Program: program, Class: class, Cores: cores[i]}
+	}
+	for sr := range p.runner.RunStream(ctx, items) {
+		i := valid[sr.Index]
+		if sr.Err != nil {
+			fn(i, Prediction{}, sr.Err)
+			continue
+		}
+		fn(i, p.simPrediction(spec, program, class, cores[i], sr.Res, base), nil)
+	}
+	p.refitFromCache(ctx, spec, program, class)
 }
 
 // Warm fits the analytical model for one (machine, program, class) pair

@@ -1,15 +1,9 @@
 package server
 
-import "sync"
+import (
+	"sync"
 
-// Admission scope names reported in the X-Simserved-Admission-Scope
-// header of a 429: which bucket rejected the request.
-const (
-	// ScopeTenant means the caller's own per-tenant bucket was full —
-	// other tenants were unaffected by the overload.
-	ScopeTenant = "tenant"
-	// ScopeGlobal means the instance-wide bucket was full.
-	ScopeGlobal = "global"
+	"repro/internal/api"
 )
 
 // admitter is the simulation tier's two-level token bucket. A request
@@ -56,7 +50,7 @@ func (a *admitter) Acquire(tenant string) (ok bool, scope string) {
 	a.mu.Lock()
 	if a.inUse[tenant] >= a.perTenant {
 		a.mu.Unlock()
-		return false, ScopeTenant
+		return false, api.ScopeTenant
 	}
 	a.inUse[tenant]++
 	a.mu.Unlock()
@@ -67,7 +61,7 @@ func (a *admitter) Acquire(tenant string) (ok bool, scope string) {
 		a.mu.Lock()
 		a.dec(tenant)
 		a.mu.Unlock()
-		return false, ScopeGlobal
+		return false, api.ScopeGlobal
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/telemetry"
@@ -23,7 +24,7 @@ func postAs(t testing.TB, h http.Handler, tenant, body string) *httptest.Respons
 	t.Helper()
 	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
 	if tenant != "" {
-		req.Header.Set(HeaderTenant, tenant)
+		req.Header.Set(api.HeaderTenant, tenant)
 	}
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, req)
@@ -47,12 +48,12 @@ func TestAdmitterSemantics(t *testing.T) {
 	}
 	mustAcquire("a")
 	mustAcquire("a")
-	if ok, scope := a.Acquire("a"); ok || scope != ScopeTenant {
+	if ok, scope := a.Acquire("a"); ok || scope != api.ScopeTenant {
 		t.Fatalf("third a-token: ok=%v scope=%q, want tenant-scope refusal", ok, scope)
 	}
 	// The tenant refusal must not have consumed global capacity.
 	mustAcquire("b")
-	if ok, scope := a.Acquire("b"); ok || scope != ScopeGlobal {
+	if ok, scope := a.Acquire("b"); ok || scope != api.ScopeGlobal {
 		t.Fatalf("fourth token: ok=%v scope=%q, want global-scope refusal", ok, scope)
 	}
 	if a.Depth() != 3 || a.Held("a") != 2 || a.Held("b") != 1 || a.Tenants() != 2 {
@@ -107,7 +108,7 @@ func TestTenantFairness(t *testing.T) {
 	fire := func(tenant, body string) {
 		go func() {
 			w := postAs(t, h, tenant, body)
-			results <- result{tenant, w.Code, w.Header().Get(HeaderAdmissionScope)}
+			results <- result{tenant, w.Code, w.Header().Get(api.HeaderAdmissionScope)}
 		}()
 	}
 
@@ -125,8 +126,8 @@ func TestTenantFairness(t *testing.T) {
 		if res.code != http.StatusTooManyRequests {
 			t.Fatalf("flood response %d: status %d, want 429", i, res.code)
 		}
-		if res.scope != ScopeTenant {
-			t.Errorf("flood response %d: scope %q, want %q", i, res.scope, ScopeTenant)
+		if res.scope != api.ScopeTenant {
+			t.Errorf("flood response %d: scope %q, want %q", i, res.scope, api.ScopeTenant)
 		}
 		sheddedA++
 	}
@@ -141,11 +142,11 @@ func TestTenantFairness(t *testing.T) {
 
 	// Now both scopes are exhausted, and the refusal names the right one:
 	// B hits its own bucket, a third tenant hits the global queue.
-	if w := postAs(t, h, "team-b", `{"machine":"IntelUMA8","program":"CG","class":"W","cores":3}`); w.Code != http.StatusTooManyRequests || w.Header().Get(HeaderAdmissionScope) != ScopeTenant {
-		t.Errorf("B overflow: status %d scope %q, want 429/%s", w.Code, w.Header().Get(HeaderAdmissionScope), ScopeTenant)
+	if w := postAs(t, h, "team-b", `{"machine":"IntelUMA8","program":"CG","class":"W","cores":3}`); w.Code != http.StatusTooManyRequests || w.Header().Get(api.HeaderAdmissionScope) != api.ScopeTenant {
+		t.Errorf("B overflow: status %d scope %q, want 429/%s", w.Code, w.Header().Get(api.HeaderAdmissionScope), api.ScopeTenant)
 	}
-	if w := postAs(t, h, "team-c", `{"machine":"IntelUMA8","program":"CG","class":"W","cores":4}`); w.Code != http.StatusTooManyRequests || w.Header().Get(HeaderAdmissionScope) != ScopeGlobal {
-		t.Errorf("C arrival: status %d scope %q, want 429/%s", w.Code, w.Header().Get(HeaderAdmissionScope), ScopeGlobal)
+	if w := postAs(t, h, "team-c", `{"machine":"IntelUMA8","program":"CG","class":"W","cores":4}`); w.Code != http.StatusTooManyRequests || w.Header().Get(api.HeaderAdmissionScope) != api.ScopeGlobal {
+		t.Errorf("C arrival: status %d scope %q, want 429/%s", w.Code, w.Header().Get(api.HeaderAdmissionScope), api.ScopeGlobal)
 	}
 
 	// Release the gate: the four admitted requests resolve as 499s (their
@@ -253,7 +254,7 @@ func TestAdmissionNoLeakAfterCancel(t *testing.T) {
 			cancel() // the client is gone before the request lands
 			body := fmt.Sprintf(`{"machine":"IntelUMA8","program":"EP","class":"W","cores":%d}`, 1+i%8)
 			req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body)).WithContext(ctx)
-			req.Header.Set(HeaderTenant, fmt.Sprintf("t%d", i%4))
+			req.Header.Set(api.HeaderTenant, fmt.Sprintf("t%d", i%4))
 			w := httptest.NewRecorder()
 			h.ServeHTTP(w, req)
 			codes <- w.Code
@@ -277,7 +278,7 @@ func TestAdmissionNoLeakAfterCancel(t *testing.T) {
 	// The server still serves: healthz agrees the queue is empty.
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
-	var hz healthzResponse
+	var hz api.HealthzResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &hz); err != nil {
 		t.Fatal(err)
 	}

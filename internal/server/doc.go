@@ -1,11 +1,16 @@
 // Package server implements the HTTP/JSON serving layer of cmd/simserved:
 // contention-as-a-service over the tiered backend of internal/model.
 //
-// The handler surface (documented operator-first in docs/SERVER.md):
+// The handler surface (wire contract in internal/api and docs/API.md,
+// operations in docs/SERVER.md):
 //
 //	POST /v1/predict   one contention query → ω(n), per-MC utilization,
 //	                   predicted makespan; X-Simserved-Tier names the
 //	                   backend that answered (analytical | simulation)
+//	POST /v1/curve     a whole ω(n) sweep in one request: batched JSON,
+//	                   or streaming NDJSON (Accept: application/x-ndjson)
+//	                   where analytical points flush immediately and
+//	                   simulation points stream in completion order
 //	GET  /v1/catalog   the machines, programs and classes this instance
 //	                   can answer for, plus its workload scale
 //	GET  /healthz      liveness + fit/cache occupancy

@@ -64,3 +64,65 @@ func FuzzPredictHandler(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCurveHandler is the same envelope pin for POST /v1/curve, in both
+// response modes: arbitrary bodies only ever produce 200/400/429/499,
+// batched responses are valid JSON, and streamed responses are valid
+// NDJSON — every non-empty line its own JSON document. The queue is
+// pre-filled so grantable simulation points shed instead of running.
+func FuzzCurveHandler(f *testing.F) {
+	s, _ := newTestServer(f, 0.05, 1)
+	ok, _ := s.adm.Acquire("fuzz-hog")
+	if !ok {
+		f.Fatal("could not occupy the admission token")
+	}
+	h := s.Handler()
+
+	seeds := []string{
+		`{"machine":"IntelUMA8","program":"CG","class":"W"}`,
+		`{"machine":"IntelUMA8","program":"CG","class":"W","cores":[1,2,3]}`,
+		`{"machine":"IntelUMA8","program":"EP","class":"W","cores":[1,1]}`,
+		`{"machine":"IntelUMA8","program":"CG","class":"W","cores":[0]}`,
+		`{"machine":"IntelUMA8","program":"CG","class":"W","cores":[9]}`,
+		`{"machine":"IntelUMA8","program":"CG","class":"W","cores":[]}`,
+		`{}`,
+		`{`,
+		``,
+		`null`,
+		`[]`,
+		`{"machine":"IntelUMA8","program":"CG","class":"W","cores":2}`,
+		`{"machine":"IntelUMA8","program":"CG","class":"W","scale":0.5}`,
+	}
+	for _, sd := range seeds {
+		f.Add([]byte(sd), false)
+		f.Add([]byte(sd), true)
+	}
+
+	allowed := map[int]bool{
+		http.StatusOK:              true,
+		http.StatusBadRequest:      true,
+		http.StatusTooManyRequests: true,
+		StatusClientClosedRequest:  true,
+	}
+	f.Fuzz(func(t *testing.T, body []byte, ndjson bool) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/curve", strings.NewReader(string(body)))
+		if ndjson {
+			req.Header.Set("Accept", "application/x-ndjson")
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+
+		if !allowed[w.Code] {
+			t.Fatalf("body %q: status %d, want one of 200/400/429/499", body, w.Code)
+		}
+		if ct := w.Header().Get("Content-Type"); ct == "application/x-ndjson" {
+			for _, line := range strings.Split(w.Body.String(), "\n") {
+				if line != "" && !json.Valid([]byte(line)) {
+					t.Fatalf("body %q: NDJSON line is not JSON: %q", body, line)
+				}
+			}
+		} else if !json.Valid(w.Body.Bytes()) {
+			t.Fatalf("body %q: response is not JSON: %q", body, w.Body.String())
+		}
+	})
+}

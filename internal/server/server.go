@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/machine"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -30,20 +31,6 @@ const DefaultMaxQueue = 64
 // its simulation finished (nginx's 499 convention; Go has no name for it).
 const StatusClientClosedRequest = 499
 
-// Wire headers shared with clients and the load harness (internal/load).
-const (
-	// HeaderTier reports which tier answered a prediction.
-	HeaderTier = "X-Simserved-Tier"
-	// HeaderConfigHash reports the content address of the answered query.
-	HeaderConfigHash = "X-Simserved-Config-Hash"
-	// HeaderTenant identifies the caller's admission bucket on requests.
-	// Absent means the anonymous tenant "".
-	HeaderTenant = "X-Simserved-Tenant"
-	// HeaderAdmissionScope reports, on a 429, which bucket was full:
-	// ScopeTenant or ScopeGlobal.
-	HeaderAdmissionScope = "X-Simserved-Admission-Scope"
-)
-
 // Retry-After bounds: the hint is derived from a latency estimate, never
 // below one second and never an hour-long lie.
 const (
@@ -51,16 +38,43 @@ const (
 	maxRetryAfterS = 60
 )
 
+// Predictor is the narrow surface the serving layer needs from the
+// tiered backend. *model.Predictor implements it; tests substitute
+// stubs to pin serving contracts — like mixed-tier streaming order —
+// that the real physics only produces past a fitted saturation point.
+type Predictor interface {
+	// Scale is the workload fidelity of this instance; every answer and
+	// config hash is at this scale.
+	Scale() float64
+	// FitCount and CachedRuns feed /healthz occupancy.
+	FitCount() int
+	CachedRuns() int
+	// Analytical answers from the fitted closed form or declines with a
+	// reason; it must never block.
+	Analytical(spec machine.Spec, program string, class workload.Class, cores int) (model.Prediction, model.DeclineReason)
+	// AnalyticalCurve is Analytical over a core sweep with one fit
+	// lookup: point i of the parallel slices is answered iff reasons[i]
+	// is empty.
+	AnalyticalCurve(spec machine.Spec, program string, class workload.Class, cores []int) ([]model.Prediction, []model.DeclineReason)
+	// Predict answers one query, falling back to simulation.
+	Predict(ctx context.Context, spec machine.Spec, program string, class workload.Class, cores int) (model.Prediction, error)
+	// PredictStream simulates many core counts of one pair, invoking fn
+	// exactly once per index in completion order from a single
+	// goroutine; failed or canceled points carry the error.
+	PredictStream(ctx context.Context, spec machine.Spec, program string, class workload.Class, cores []int, fn func(i int, pred model.Prediction, err error))
+}
+
 // Config wires a Server. Predictor is required; everything else has
 // serviceable defaults.
 type Config struct {
-	// Predictor is the tiered backend answering queries.
-	Predictor *model.Predictor
+	// Predictor is the tiered backend answering queries (normally a
+	// *model.Predictor).
+	Predictor Predictor
 	// MaxQueue bounds simulation-tier admission (queued + running)
 	// instance-wide. Zero means DefaultMaxQueue.
 	MaxQueue int
 	// MaxPerTenant bounds the admission tokens any one tenant
-	// (X-Simserved-Tenant) may hold at once. Zero means half of MaxQueue
+	// (api.HeaderTenant) may hold at once. Zero means half of MaxQueue
 	// (rounded up), so no single tenant can starve the simulation tier;
 	// values are clamped into [1, MaxQueue].
 	MaxPerTenant int
@@ -69,21 +83,22 @@ type Config struct {
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, receives one server.request event per
 	// answered query plus server.rejected / server.error events, and a
-	// span.end record for every request-phase span (server.request root,
-	// server.parse/model/admit/sim/respond children; see docs/TRACING.md).
-	// Requests echo their trace ID in the X-Simserved-Trace header and
-	// join a client trace sent via the W3C traceparent header.
+	// span.end record for every request-phase span (server.request or
+	// server.curve root, server.parse/model/admit/sim/respond/point
+	// children; see docs/TRACING.md). Requests echo their trace ID in
+	// the X-Simserved-Trace header and join a client trace sent via the
+	// W3C traceparent header.
 	Tracer *telemetry.Tracer
 }
 
 // Server is the HTTP serving layer. Build with New, mount Handler.
 type Server struct {
-	pred    *model.Predictor
+	pred    Predictor
 	metrics *telemetry.Registry
 	tracer  *telemetry.Tracer
 	// adm is the simulation tier's two-level (global + per-tenant) token
 	// bucket: a request holds its tokens from admission decision to
-	// response write.
+	// response write — one token per simulation point for curves.
 	adm *admitter
 
 	// latMu guards simLatencyS, an EWMA of simulation-tier response time
@@ -122,10 +137,11 @@ func New(cfg Config) *Server {
 // Handler returns the server's routing table on a private mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/predict", s.handlePredict)
-	mux.HandleFunc("/v1/catalog", s.handleCatalog)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc(api.PathPredict, s.handlePredict)
+	mux.HandleFunc(api.PathCurve, s.handleCurve)
+	mux.HandleFunc(api.PathCatalog, s.handleCatalog)
+	mux.HandleFunc(api.PathHealthz, s.handleHealthz)
+	mux.HandleFunc(api.PathMetrics, s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -134,61 +150,14 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// predictRequest is the POST /v1/predict body. Unknown fields are
-// rejected so typos ("core" for "cores") fail loudly instead of being
-// silently defaulted.
-type predictRequest struct {
-	// Machine is a preset name (GET /v1/catalog lists them).
-	Machine string `json:"machine"`
-	// Program and Class select the workload.
-	Program string `json:"program"`
-	Class   string `json:"class"`
-	// Cores is the number of active cores n; 0 means the whole machine.
-	Cores int `json:"cores"`
-	// Scale, when non-zero, must match the server's workload scale —
-	// fidelity is an instance property, not a per-request knob (see
-	// docs/SERVER.md, "One scale per instance").
-	Scale float64 `json:"scale,omitempty"`
-}
-
-// predictResponse is the POST /v1/predict success body.
-type predictResponse struct {
-	Machine        string    `json:"machine"`
-	Program        string    `json:"program"`
-	Class          string    `json:"class"`
-	Cores          int       `json:"cores"`
-	Scale          float64   `json:"scale"`
-	Omega          float64   `json:"omega"`
-	Cycles         float64   `json:"cycles"`
-	BaselineCycles float64   `json:"baseline_cycles"`
-	MakespanCycles float64   `json:"makespan_cycles"`
-	MCUtilization  []float64 `json:"mc_utilization"`
-	Tier           string    `json:"tier"`
-	ConfigHash     string    `json:"config_hash"`
-	Fit            *fitJSON  `json:"fit,omitempty"`
-}
-
-// fitJSON is the fit summary attached to analytical-tier answers.
-type fitJSON struct {
-	Anchors         []int   `json:"anchors"`
-	R2              float64 `json:"r2"`
-	Residual        float64 `json:"residual"`
-	SaturationCores float64 `json:"saturation_cores"`
-}
-
-// errorResponse is every non-2xx body.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// maxBodyBytes bounds the predict request body; the schema is five
-// scalars, so anything past a few KB is a client bug.
+// maxBodyBytes bounds request bodies; the largest schema is a few
+// scalars and a core list, so anything past a few KB is a client bug.
 const maxBodyBytes = 1 << 20
 
 // predictParams is one parsed and validated predict request.
 type predictParams struct {
 	spec   machine.Spec
-	req    predictRequest
+	req    api.PredictRequest
 	class  workload.Class
 	cores  int
 	tenant string
@@ -218,10 +187,8 @@ func (s *Server) parsePredict(r *http.Request) (predictParams, *httpError) {
 	if err := validateWorkload(p.req.Program, p.req.Class); err != nil {
 		return p, &httpError{http.StatusBadRequest, err.Error()}
 	}
-	if p.req.Scale != 0 && p.req.Scale != s.pred.Scale() {
-		return p, &httpError{http.StatusBadRequest, fmt.Sprintf(
-			"this instance simulates at scale %g, not %g; run one simserved per fidelity (see docs/SERVER.md)",
-			s.pred.Scale(), p.req.Scale)}
+	if herr := s.checkScale(p.req.Scale); herr != nil {
+		return p, herr
 	}
 	p.cores = p.req.Cores
 	if p.cores == 0 {
@@ -232,8 +199,19 @@ func (s *Server) parsePredict(r *http.Request) (predictParams, *httpError) {
 			"cores %d out of range for %s (1..%d)", p.cores, spec.Name, spec.TotalCores())}
 	}
 	p.class = workload.Class(p.req.Class)
-	p.tenant = r.Header.Get(HeaderTenant)
+	p.tenant = r.Header.Get(api.HeaderTenant)
 	return p, nil
+}
+
+// checkScale rejects a request naming a different fidelity than this
+// instance simulates at (zero means "whatever the server runs").
+func (s *Server) checkScale(scale float64) *httpError {
+	if scale != 0 && scale != s.pred.Scale() {
+		return &httpError{http.StatusBadRequest, fmt.Sprintf(
+			"this instance simulates at scale %g, not %g; run one simserved per fidelity (see docs/SERVER.md)",
+			s.pred.Scale(), scale)}
+	}
+	return nil
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -286,7 +264,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.respond(w, rt, pred, time.Since(start))
 		rt.endRespond()
 		rt.finish(http.StatusOK, string(pred.Tier))
-	case errors.Is(err, sim.ErrCanceled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case isCanceled(err):
 		s.metrics.Counter("simserved_canceled_total").Inc()
 		s.fail(w, StatusClientClosedRequest, "request canceled before the simulation finished")
 		rt.finish(StatusClientClosedRequest, "")
@@ -304,13 +282,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// isCanceled reports whether a predict error means the client vanished
+// (or its deadline passed) before the simulation finished.
+func isCanceled(err error) bool {
+	return errors.Is(err, sim.ErrCanceled) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // shed writes the 429 for a request that failed admission: Retry-After
 // priced off the simulation-latency EWMA, the rejecting scope, and a
 // message naming the full bucket. reason is the analytical tier's decline
 // that routed the request here.
 func (s *Server) shed(w http.ResponseWriter, p predictParams, reason model.DeclineReason, scope string) {
 	s.metrics.Counter("simserved_rejected_total").Inc()
-	if scope == ScopeTenant {
+	if scope == api.ScopeTenant {
 		s.metrics.Counter("simserved_tenant_rejected_total").Inc()
 	}
 	if s.tracer.Enabled() {
@@ -319,18 +303,21 @@ func (s *Server) shed(w http.ResponseWriter, p predictParams, reason model.Decli
 			"tenant", p.tenant, "scope", scope, "queue", s.adm.Cap())
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterS()))
-	w.Header().Set(HeaderAdmissionScope, scope)
-	var msg string
-	if scope == ScopeTenant {
-		msg = fmt.Sprintf(
+	w.Header().Set(api.HeaderAdmissionScope, scope)
+	s.fail(w, http.StatusTooManyRequests, s.shedMessage(reason, scope))
+}
+
+// shedMessage names the bucket that rejected a simulation and the
+// decline that routed the work there.
+func (s *Server) shedMessage(reason model.DeclineReason, scope string) string {
+	if scope == api.ScopeTenant {
+		return fmt.Sprintf(
 			"tenant admission bucket full (cap %d simulations per tenant); the analytical tier declined (%s) — retry after the hint or warm this pair",
 			s.adm.TenantCap(), reason)
-	} else {
-		msg = fmt.Sprintf(
-			"simulation admission queue full (%d in flight); the analytical tier declined (%s) — retry after the hint or warm this pair",
-			s.adm.Cap(), reason)
 	}
-	s.fail(w, http.StatusTooManyRequests, msg)
+	return fmt.Sprintf(
+		"simulation admission queue full (%d in flight); the analytical tier declined (%s) — retry after the hint or warm this pair",
+		s.adm.Cap(), reason)
 }
 
 // release returns the tenant's admission token.
@@ -397,7 +384,7 @@ func (s *Server) respond(w http.ResponseWriter, rt *requestTrace, pred model.Pre
 			"cores", pred.Cores, "tier", string(pred.Tier), "omega", pred.Omega,
 			"elapsed_ms", ms)
 	}
-	resp := predictResponse{
+	resp := api.PredictResponse{
 		Machine:        pred.Machine,
 		Program:        pred.Program,
 		Class:          string(pred.Class),
@@ -410,18 +397,24 @@ func (s *Server) respond(w http.ResponseWriter, rt *requestTrace, pred model.Pre
 		MCUtilization:  pred.MCUtilization,
 		Tier:           string(pred.Tier),
 		ConfigHash:     pred.ConfigHash,
+		Fit:            fitBody(pred.Fit),
 	}
-	if pred.Fit != nil {
-		resp.Fit = &fitJSON{
-			Anchors:         pred.Fit.Anchors,
-			R2:              pred.Fit.R2,
-			Residual:        pred.Fit.Residual,
-			SaturationCores: pred.Fit.SaturationCores,
-		}
-	}
-	w.Header().Set(HeaderTier, string(pred.Tier))
-	w.Header().Set(HeaderConfigHash, pred.ConfigHash)
+	w.Header().Set(api.HeaderTier, string(pred.Tier))
+	w.Header().Set(api.HeaderConfigHash, pred.ConfigHash)
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// fitBody converts a model fit summary to its wire form (nil for nil).
+func fitBody(fi *model.FitInfo) *api.Fit {
+	if fi == nil {
+		return nil
+	}
+	return &api.Fit{
+		Anchors:         fi.Anchors,
+		R2:              fi.R2,
+		Residual:        fi.Residual,
+		SaturationCores: fi.SaturationCores,
+	}
 }
 
 // validateWorkload checks program and class against the registry without
@@ -445,42 +438,19 @@ func validateWorkload(program, class string) error {
 	return fmt.Errorf("program %s has no class %q (have %v)", program, class, workload.ClassesFor(program))
 }
 
-// catalogMachine is one machine entry of GET /v1/catalog.
-type catalogMachine struct {
-	Name           string `json:"name"`
-	Kind           string `json:"kind"`
-	Sockets        int    `json:"sockets"`
-	CoresPerSocket int    `json:"cores_per_socket"`
-	TotalCores     int    `json:"total_cores"`
-}
-
-// catalogProgram is one workload entry of GET /v1/catalog.
-type catalogProgram struct {
-	Name        string   `json:"name"`
-	Classes     []string `json:"classes"`
-	Description string   `json:"description"`
-}
-
-// catalogResponse is the GET /v1/catalog body.
-type catalogResponse struct {
-	Scale    float64          `json:"scale"`
-	Machines []catalogMachine `json:"machines"`
-	Programs []catalogProgram `json:"programs"`
-}
-
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		s.fail(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	resp := catalogResponse{Scale: s.pred.Scale()}
+	resp := api.CatalogResponse{Scale: s.pred.Scale()}
 	for _, spec := range machine.All() {
 		kind := "NUMA"
 		if spec.UMA() {
 			kind = "UMA"
 		}
-		resp.Machines = append(resp.Machines, catalogMachine{
+		resp.Machines = append(resp.Machines, api.CatalogMachine{
 			Name:           spec.Name,
 			Kind:           kind,
 			Sockets:        spec.Sockets,
@@ -490,7 +460,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, name := range workload.Names() {
 		classes := workload.ClassesFor(name)
-		cp := catalogProgram{Name: name, Description: workload.Describe(name)}
+		cp := api.CatalogProgram{Name: name, Description: workload.Describe(name)}
 		for _, cl := range classes {
 			cp.Classes = append(cp.Classes, string(cl))
 		}
@@ -499,25 +469,9 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// healthzResponse is the GET /healthz body. The latency quantiles are
-// interpolated from the simserved_predict_ms histogram
-// (telemetry.Histogram.Quantile) and are 0 before the first request.
-type healthzResponse struct {
-	Status       string  `json:"status"`
-	Scale        float64 `json:"scale"`
-	Fits         int     `json:"fits"`
-	CachedRuns   int     `json:"cached_runs"`
-	QueueDepth   int     `json:"queue_depth"`
-	QueueCap     int     `json:"queue_cap"`
-	TenantCap    int     `json:"tenant_cap"`
-	Tenants      int     `json:"tenants"`
-	PredictP50Ms float64 `json:"predict_p50_ms"`
-	PredictP99Ms float64 `json:"predict_p99_ms"`
-}
-
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := s.metrics.Histogram("simserved_predict_ms", predictBounds...)
-	s.writeJSON(w, http.StatusOK, healthzResponse{
+	s.writeJSON(w, http.StatusOK, api.HealthzResponse{
 		Status:       "ok",
 		Scale:        s.pred.Scale(),
 		Fits:         s.pred.FitCount(),
@@ -548,12 +502,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // fail writes one JSON error body with the given status.
 func (s *Server) fail(w http.ResponseWriter, status int, msg string) {
-	s.writeJSON(w, status, errorResponse{Error: msg})
+	s.writeJSON(w, status, api.Error{Error: msg})
 }
 
 // writeJSON writes any body as JSON with the given status.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", api.ContentTypeJSON)
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(body)

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/model"
@@ -38,9 +39,9 @@ func postPredict(t testing.TB, h http.Handler, body string) *httptest.ResponseRe
 	return w
 }
 
-func decodePredict(t *testing.T, w *httptest.ResponseRecorder) predictResponse {
+func decodePredict(t *testing.T, w *httptest.ResponseRecorder) api.PredictResponse {
 	t.Helper()
-	var resp predictResponse
+	var resp api.PredictResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
 		t.Fatalf("bad response body %q: %v", w.Body.String(), err)
 	}
@@ -140,7 +141,7 @@ func TestPredictValidation(t *testing.T) {
 			if w.Code != tc.want {
 				t.Fatalf("status %d, want %d: %s", w.Code, tc.want, w.Body.String())
 			}
-			var e errorResponse
+			var e api.Error
 			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
 				t.Fatalf("error body is not JSON: %q", w.Body.String())
 			}
@@ -193,10 +194,10 @@ func TestAdmissionFull(t *testing.T) {
 	if w.Header().Get("Retry-After") == "" {
 		t.Error("429 without Retry-After")
 	}
-	if got := w.Header().Get(HeaderAdmissionScope); got != ScopeGlobal {
-		t.Errorf("scope header = %q, want %q", got, ScopeGlobal)
+	if got := w.Header().Get(api.HeaderAdmissionScope); got != api.ScopeGlobal {
+		t.Errorf("scope header = %q, want %q", got, api.ScopeGlobal)
 	}
-	var e errorResponse
+	var e api.Error
 	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
 		t.Fatalf("error body is not JSON: %q", w.Body.String())
 	}
@@ -215,7 +216,7 @@ func TestCatalogAndHealthz(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("catalog status %d", w.Code)
 	}
-	var cat catalogResponse
+	var cat api.CatalogResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &cat); err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestCatalogAndHealthz(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("healthz status %d", w.Code)
 	}
-	var hz healthzResponse
+	var hz api.HealthzResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &hz); err != nil {
 		t.Fatal(err)
 	}

@@ -4,31 +4,22 @@ import (
 	"context"
 	"net/http"
 
+	"repro/internal/api"
 	"repro/internal/telemetry"
 )
 
-// Trace propagation headers.
-const (
-	// HeaderTraceparent is the W3C trace-context request header
-	// ("00-<trace>-<span>-01"); when a client (cmd/loadgen) sends one, the
-	// server's request span joins the client's trace instead of starting
-	// a fresh one.
-	HeaderTraceparent = "traceparent"
-	// HeaderTrace reports the request's trace ID back to the client (set
-	// only when tracing is enabled), so any response — including 4xx/5xx —
-	// is joinable to the server's span log.
-	HeaderTrace = "X-Simserved-Trace"
-)
-
-// requestTrace carries one predict request's span tree through the
-// handler. A nil *requestTrace (tracing off) makes every method a no-op,
-// keeping the fast path free of span work: the typed begin/end methods
-// below take no variadic arguments, so a disabled handler allocates no
-// span objects and no boxed attribute slices (the tentpole's
+// requestTrace carries one request's span tree through the handlers
+// (predict and curve). A nil *requestTrace (tracing off) makes every
+// method a no-op, keeping the fast path free of span work: the typed
+// begin/end methods below take no variadic arguments, so a disabled
+// handler allocates no span objects and no boxed attribute slices (the
 // zero-cost-when-off contract; TestPredictTracingOffAllocations pins it).
 //
-// The handler is strictly sequential, so one child slot suffices: each
-// begin* opens the next phase span and the matching end* closes it.
+// The handler phases are strictly sequential, so one child slot
+// suffices: each begin* opens the next phase span and the matching end*
+// closes it. Curve per-point spans overlap (simulation points complete
+// concurrently with dispatch), so they bypass the slot — startPoint
+// hands the span to the caller.
 type requestTrace struct {
 	tracer *telemetry.Tracer
 	root   telemetry.Span
@@ -42,10 +33,24 @@ func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) *requestTrac
 	if !s.tracer.Enabled() {
 		return nil
 	}
-	parent, _ := telemetry.ParseTraceparent(r.Header.Get(HeaderTraceparent))
+	parent, _ := telemetry.ParseTraceparent(r.Header.Get(api.HeaderTraceparent))
 	rt := &requestTrace{tracer: s.tracer}
 	rt.root = s.tracer.StartSpan(parent, "server.request")
-	w.Header().Set(HeaderTrace, rt.root.Context().Trace.String())
+	w.Header().Set(api.HeaderTrace, rt.root.Context().Trace.String())
+	return rt
+}
+
+// startCurveTrace is startTrace for the curve handler: same join and
+// echo semantics, but the root span is "server.curve" so traceview can
+// tell a one-point request from a whole-curve request.
+func (s *Server) startCurveTrace(w http.ResponseWriter, r *http.Request) *requestTrace {
+	if !s.tracer.Enabled() {
+		return nil
+	}
+	parent, _ := telemetry.ParseTraceparent(r.Header.Get(api.HeaderTraceparent))
+	rt := &requestTrace{tracer: s.tracer}
+	rt.root = s.tracer.StartSpan(parent, "server.curve")
+	w.Header().Set(api.HeaderTrace, rt.root.Context().Trace.String())
 	return rt
 }
 
@@ -173,4 +178,44 @@ func (rt *requestTrace) finish(status int, tier string) {
 		return
 	}
 	rt.root.End("status", status, "tier", tier)
+}
+
+// endModelCurve closes the model span of a curve request with the sweep
+// verdict: how many points the fit answered and how many it declined to
+// the simulation tier.
+func (rt *requestTrace) endModelCurve(answered, declined int) {
+	if rt == nil {
+		return
+	}
+	rt.child.End("answered", answered, "declined", declined)
+}
+
+// endAdmitCurve closes the admission span of a curve request: how many
+// simulation points were granted tokens and how many were shed.
+func (rt *requestTrace) endAdmitCurve(tenant string, granted, shed int) {
+	if rt == nil {
+		return
+	}
+	rt.child.End("tenant", tenant, "granted", granted, "shed", shed)
+}
+
+// startPoint opens one per-point child span under the curve root and
+// hands it to the caller (zero Span when tracing is off — End on it is
+// a no-op). Points overlap in time, so they cannot use the sequential
+// child slot.
+func (rt *requestTrace) startPoint() telemetry.Span {
+	if rt == nil {
+		return telemetry.Span{}
+	}
+	return rt.tracer.StartSpan(rt.root.Context(), "server.point")
+}
+
+// finishCurve closes the curve root span with the final status and the
+// per-tier point counts.
+func (rt *requestTrace) finishCurve(status, analytical, simulation, shed, failed int) {
+	if rt == nil {
+		return
+	}
+	rt.root.End("status", status, "analytical", analytical,
+		"simulation", simulation, "shed", shed, "failed", failed)
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/model"
@@ -81,14 +82,14 @@ func TestPredictSpanTreeAnalytical(t *testing.T) {
 	client := telemetry.DeriveSpanContext(7, 0)
 	req := httptest.NewRequest(http.MethodPost, "/v1/predict",
 		strings.NewReader(`{"machine":"IntelUMA8","program":"CG","class":"W","cores":3}`))
-	req.Header.Set(HeaderTraceparent, client.Traceparent())
+	req.Header.Set(api.HeaderTraceparent, client.Traceparent())
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, req)
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body.String())
 	}
-	if got := w.Header().Get(HeaderTrace); got != client.Trace.String() {
-		t.Errorf("%s = %q, want client trace %s", HeaderTrace, got, client.Trace)
+	if got := w.Header().Get(api.HeaderTrace); got != client.Trace.String() {
+		t.Errorf("%s = %q, want client trace %s", api.HeaderTrace, got, client.Trace)
 	}
 
 	spans := parseSpans(t, buf)
@@ -186,9 +187,9 @@ func TestPredictTraceHeaderOn4xx(t *testing.T) {
 	if w.Code != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", w.Code)
 	}
-	trace := w.Header().Get(HeaderTrace)
+	trace := w.Header().Get(api.HeaderTrace)
 	if len(trace) != 32 {
-		t.Fatalf("%s = %q, want 32-hex trace ID", HeaderTrace, trace)
+		t.Fatalf("%s = %q, want 32-hex trace ID", api.HeaderTrace, trace)
 	}
 	spans := parseSpans(t, buf)
 	root := spans["server.request"]
@@ -205,8 +206,8 @@ func TestPredictTraceHeaderOn4xx(t *testing.T) {
 func TestTracingOffNoHeaderNoSpans(t *testing.T) {
 	s, _ := newTestServer(t, 0.05, 0)
 	w := postPredict(t, s.Handler(), `{"machine":"NoSuchMachine","program":"CG","class":"W"}`)
-	if got := w.Header().Get(HeaderTrace); got != "" {
-		t.Errorf("%s = %q with tracing off, want empty", HeaderTrace, got)
+	if got := w.Header().Get(api.HeaderTrace); got != "" {
+		t.Errorf("%s = %q with tracing off, want empty", api.HeaderTrace, got)
 	}
 }
 
@@ -222,7 +223,7 @@ func TestRequestTraceNilSafe(t *testing.T) {
 		rt.beginModel()
 		rt.endModel("no_fit")
 		rt.beginAdmit()
-		rt.endAdmit("tenant", true, ScopeGlobal)
+		rt.endAdmit("tenant", true, api.ScopeGlobal)
 		rt.beginSim()
 		rt.endSim(nil)
 		rt.beginRespond()

@@ -86,6 +86,19 @@ echo "== analytical point: poisson 80 rps for 15s against the warmed pair"
   -out "$OUT_DIR/analytical.ndjson" \
   -trace-out "$OUT_DIR/analytical-client-spans.ndjson"
 
+echo "== curve point: streamed ω(n) sweeps of the warmed pair at 4 rps"
+"$LOADGEN_BIN" -url "http://$ADDR" \
+  -machine IntelUMA8 -program CG -class W -cores 0 -curve \
+  -mode const -rps 4 -duration 5s -seed 9 \
+  -tenant load-smoke \
+  -out "$OUT_DIR/curve.ndjson" \
+  -trace-out "$OUT_DIR/curve-client-spans.ndjson"
+grep -q '"kind":"curve"' "$OUT_DIR/curve.ndjson"
+POINTS=$(grep -c '"tier":"analytical".*"kind":"point"' "$OUT_DIR/curve.ndjson")
+CURVES=$(grep -c '"kind":"curve"' "$OUT_DIR/curve.ndjson")
+echo "curve.ndjson: $CURVES sweeps, $POINTS analytical points"
+test "$POINTS" -eq $((CURVES * 8))
+
 echo "== simulation point: const 4 rps for 10s against a cold pair"
 "$LOADGEN_BIN" -url "http://$ADDR" \
   -machine IntelUMA8 -program EP -class W -cores 4 \

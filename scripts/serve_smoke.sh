@@ -81,6 +81,31 @@ METRICS=$(curl -sf "http://$ADDR/metrics")
 echo "$METRICS" | grep -q '^simserved_analytical_total 20[1-9]'
 echo "$METRICS" | grep -q '^simserved_simulation_total 1'
 
+echo "== streamed curve on the warmed pair: 8 analytical points, then the summary"
+CURVE=$(curl -sN -X POST "http://$ADDR/v1/curve" -H 'Accept: application/x-ndjson' \
+  -d '{"machine":"IntelUMA8","program":"CG","class":"W"}')
+LINES=$(echo "$CURVE" | grep -c .)
+[ "$LINES" -eq 9 ] || { echo "FAIL: expected 9 NDJSON frames, got $LINES:" >&2; echo "$CURVE" >&2; exit 1; }
+POINTS=$(echo "$CURVE" | head -8)
+echo "$POINTS" | grep -vq '"summary"' || { echo "FAIL: summary before the points:" >&2; echo "$CURVE" >&2; exit 1; }
+[ "$(echo "$POINTS" | grep -c '"tier":"analytical"')" -eq 8 ] || {
+  echo "FAIL: expected 8 analytical points, got:" >&2; echo "$CURVE" >&2; exit 1; }
+LAST=$(echo "$CURVE" | tail -1)
+echo "$LAST" | grep -q '"summary":{"points":8,"analytical":8' || {
+  echo "FAIL: bad terminal summary: $LAST" >&2; exit 1; }
+
+echo "== batched curve on the cold pair (EP.W) simulates its points"
+CURVE=$(curl -s -X POST "http://$ADDR/v1/curve" \
+  -d '{"machine":"IntelUMA8","program":"EP","class":"W","cores":[1,2]}')
+echo "$CURVE" | grep -q '"summary":{"points":2,"analytical":0,"simulation":2' || {
+  echo "FAIL: expected 2 simulated points: $CURVE" >&2; exit 1; }
+
+echo "== curve metrics must account for both requests"
+METRICS=$(curl -sf "http://$ADDR/metrics")
+echo "$METRICS" | grep -q '^simserved_curve_requests_total 2'
+echo "$METRICS" | grep -q '^simserved_curve_analytical_points_total 8'
+echo "$METRICS" | grep -q '^simserved_curve_simulation_points_total 2'
+
 echo "== SIGINT must drain and exit 0"
 kill -INT "$SERVER_PID"
 WAIT_STATUS=0
