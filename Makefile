@@ -8,10 +8,11 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check build vet lint lint-extra test short race bench microbench artifacts-fast serve serve-smoke load-smoke trace-smoke docs-check clean
+.PHONY: check build vet lint lint-allows lint-extra test short race bench microbench artifacts-fast serve serve-smoke load-smoke trace-smoke docs-check clean
 
-## check: the tier-1 gate — vet, lint (simcheck), build, race-enabled tests.
-check: vet lint build race
+## check: the tier-1 gate — vet, lint (simcheck), the allow-directive
+## audit, build, race-enabled tests.
+check: vet lint lint-allows build race
 
 build:
 	$(GO) build ./...
@@ -20,9 +21,12 @@ vet:
 	$(GO) vet ./...
 
 ## lint: the simcheck suite (internal/analysis) over the whole tree.
-## detlint/hotpath/ctxfirst/tracelint/errlint enforce the determinism,
-## alloc-discipline, context-first, telemetry-naming and error-hygiene
-## invariants at vet time; docs/ARCHITECTURE.md §8 documents each one.
+## detlint/hotpath/ctxfirst/tracelint/errlint/apilint enforce the
+## determinism, alloc-discipline, context-first, telemetry-naming,
+## error-hygiene and wire-type invariants; leaklint/locklint/chanlint
+## (the conccheck pack) enforce goroutine-lifecycle, mutex and channel
+## discipline in the concurrent layers. docs/ARCHITECTURE.md §8
+## documents each one and the runtime test it backstops.
 SIMCHECK := bin/simcheck
 SIMCHECK_SRC := $(shell find internal/analysis cmd/simcheck -name '*.go' -not -name '*_test.go' 2>/dev/null) go.mod
 
@@ -31,6 +35,12 @@ $(SIMCHECK): $(SIMCHECK_SRC)
 
 lint: $(SIMCHECK)
 	$(GO) vet -vettool=$(CURDIR)/$(SIMCHECK) ./...
+
+## lint-allows: audit every //simcheck:allow directive in shipped code —
+## one table row per exemption, nonzero exit if any justification is
+## empty. The table in docs/ARCHITECTURE.md §8 snapshots this output.
+lint-allows:
+	scripts/lint_allows.sh
 
 ## lint-extra: third-party linters, version-pinned above. Needs network
 ## access to fetch the tools (CI runs this; offline dev boxes can skip).

@@ -1,5 +1,6 @@
 // Command simcheck runs the repository's go/analysis lint suite
-// (internal/analysis: detlint, hotpath, ctxfirst, tracelint, errlint).
+// (internal/analysis: detlint, hotpath, ctxfirst, tracelint, errlint,
+// apilint, leaklint, locklint, chanlint).
 //
 // It speaks the go vet unitchecker protocol, so the canonical invocation
 // is:
@@ -9,15 +10,25 @@
 //
 // Invoked standalone with package patterns it re-execs itself through
 // `go vet -vettool`, so `simcheck ./...` works too (and is what `make
-// lint` uses). docs/ARCHITECTURE.md §8 documents each analyzer and the
-// runtime test it backstops.
+// lint` uses). With -findings=<path> it additionally writes every
+// diagnostic as one NDJSON record per line —
+//
+//	{"pkg":"repro/internal/server","analyzer":"locklint","pos":"internal/server/x.go:12:2","message":"..."}
+//
+// — which CI uploads as an artifact when the lint gate fails.
+// docs/ARCHITECTURE.md §8 documents each analyzer and the runtime test
+// it backstops.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"os/exec"
+	"sort"
 	"strings"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
@@ -30,7 +41,11 @@ func main() {
 	if vetProtocol(args) {
 		unitchecker.Main(simcheck.Analyzers()...) // never returns
 	}
-	os.Exit(standalone(args))
+	findingsPath, rest := splitFindingsFlag(args)
+	if findingsPath != "" {
+		os.Exit(findingsMode(findingsPath, rest))
+	}
+	os.Exit(standalone(rest))
 }
 
 // vetProtocol reports whether the process was invoked by the go vet
@@ -42,6 +57,26 @@ func vetProtocol(args []string) bool {
 		}
 	}
 	return false
+}
+
+// splitFindingsFlag extracts -findings=<path> (or -findings <path>) from
+// the standalone argument list.
+func splitFindingsFlag(args []string) (string, []string) {
+	var path string
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case strings.HasPrefix(a, "-findings="):
+			path = strings.TrimPrefix(a, "-findings=")
+		case a == "-findings" && i+1 < len(args):
+			path = args[i+1]
+			i++
+		default:
+			rest = append(rest, a)
+		}
+	}
+	return path, rest
 }
 
 // standalone re-execs through `go vet -vettool=<self>` so the suite can
@@ -68,4 +103,118 @@ func standalone(args []string) int {
 		return 2
 	}
 	return 0
+}
+
+// finding is one NDJSON record in the -findings output.
+type finding struct {
+	Pkg      string `json:"pkg"`
+	Analyzer string `json:"analyzer"`
+	Pos      string `json:"pos"`
+	Message  string `json:"message"`
+}
+
+// findingsMode runs the suite through `go vet -json`, mirrors the
+// human-readable diagnostics to stderr, writes them as NDJSON to path,
+// and exits nonzero iff any diagnostic (or a vet failure) occurred.
+// `go vet -json` itself exits zero even when analyzers report, so the
+// exit code here is derived from the parsed findings.
+func findingsMode(path string, patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simcheck: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe, "-json"}, patterns...)...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	runErr := cmd.Run()
+
+	findings, parseErr := parseVetJSON(out.Bytes())
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simcheck: cannot create findings file: %v\n", err)
+		return 2
+	}
+	enc := json.NewEncoder(f)
+	for _, rec := range findings {
+		if err := enc.Encode(rec); err != nil {
+			fmt.Fprintf(os.Stderr, "simcheck: writing findings: %v\n", err)
+			f.Close()
+			return 2
+		}
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "simcheck: closing findings file: %v\n", err)
+		return 2
+	}
+
+	for _, rec := range findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", rec.Pos, rec.Analyzer, rec.Message)
+	}
+	if parseErr != nil || (runErr != nil && len(findings) == 0) {
+		// A vet failure with nothing parsed is a build or driver error:
+		// surface the raw transcript rather than pretend the tree is clean.
+		os.Stderr.Write(out.Bytes())
+		if parseErr != nil {
+			fmt.Fprintf(os.Stderr, "simcheck: parsing vet -json output: %v\n", parseErr)
+		}
+		return 2
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simcheck: %d finding(s), NDJSON written to %s\n", len(findings), path)
+		return 1
+	}
+	return 0
+}
+
+// parseVetJSON decodes the `go vet -json` stream: `#` comment lines
+// interleaved with JSON objects mapping package path → analyzer name →
+// diagnostics.
+func parseVetJSON(raw []byte) ([]finding, error) {
+	var jsonOnly bytes.Buffer
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("#")) {
+			continue
+		}
+		jsonOnly.Write(line)
+		jsonOnly.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	type diag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	var findings []finding
+	dec := json.NewDecoder(bytes.NewReader(jsonOnly.Bytes()))
+	for dec.More() {
+		var obj map[string]map[string][]diag
+		if err := dec.Decode(&obj); err != nil {
+			return findings, err
+		}
+		for pkg, byAnalyzer := range obj {
+			for analyzer, diags := range byAnalyzer {
+				for _, d := range diags {
+					findings = append(findings, finding{
+						Pkg: pkg, Analyzer: analyzer, Pos: d.Posn, Message: d.Message,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Pos != findings[j].Pos {
+			return findings[i].Pos < findings[j].Pos
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
 }

@@ -35,6 +35,8 @@ import (
 // Name is the analyzer name used in diagnostics and allow directives.
 const Name = "apilint"
 
+func init() { simdir.Register(Name) }
+
 // DefaultPackages matches the serving stack, where wire structs are
 // banned: the HTTP server and the load-generation client.
 const DefaultPackages = `(^|/)internal/(server|load)($|/)`

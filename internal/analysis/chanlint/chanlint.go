@@ -1,0 +1,370 @@
+// Package chanlint implements the channel-discipline analyzer of the
+// simcheck suite (conccheck member 3 of 3).
+//
+// Channels in the serving and load layers carry request results and
+// stream frames; a send with no exit arm is a goroutine leak the moment
+// a client disappears, and a misplaced close is a panic. Three rules:
+//
+//   - Guarded sends: every send must be the comm clause of a select
+//     carrying a default or a shutdown receive (ctx.Done() or a
+//     done/stop/quit-named channel), or go to a provably bounded channel
+//     (made with a constant capacity in this package), or have its
+//     receiver in the same function declaration (a local pipeline that
+//     visibly drains what it fills).
+//   - Close side: the function that receives from a channel must not
+//     also close it — only the sending side knows when the stream ends.
+//     Receives and closes in *different* closures of one declaration
+//     (consumer goroutine vs. producing body) are fine.
+//   - Double close: two closes of the same channel in one statement
+//     list are sequentially reachable and the second panics.
+//
+// A site that is deliberately exempt carries
+// //simcheck:allow(chanlint) <justification>.
+package chanlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/simdir"
+)
+
+// Name is the analyzer name used in diagnostics and allow directives.
+const Name = "chanlint"
+
+func init() { simdir.Register(Name) }
+
+// DefaultPackages matches the layers that stream results to clients:
+// the server, the load harness, and the experiment runner feeding both.
+const DefaultPackages = `(^|/)internal/(server|load|experiments)($|/)`
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "require select-guarded or provably bounded channel sends, forbid closing from the receiving side, and reject sequentially reachable double closes",
+	Run:  run,
+}
+
+var pkgPattern string
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgPattern, "pkgs", DefaultPackages,
+		"regexp of package import paths whose channel discipline is checked")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	re, err := regexp.Compile(pkgPattern)
+	if err != nil {
+		return nil, err
+	}
+	if !re.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	dir := simdir.Parse(pass)
+	bounded := boundedChans(pass)
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		guarded := guardedSends(pass, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDecl(pass, dir, fd, bounded, guarded)
+		}
+	}
+	return nil, nil
+}
+
+// chanIdent resolves the channel expression to its object — a local
+// variable, package variable, or struct field — so the same channel is
+// recognized across closures and methods. Returns nil for expressions
+// with no stable identity (function results, map loads).
+func chanIdent(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o := pass.TypesInfo.Uses[e]; o != nil {
+			return o
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// boundedChans collects channels made with a constant capacity anywhere
+// in the package: `ch := make(chan T, 1)` and field assignments alike.
+func boundedChans(pass *analysis.Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs, rhs ast.Expr) {
+		if !makesBounded(pass, rhs) {
+			return
+		}
+		if obj := chanIdent(pass, lhs); obj != nil {
+			out[obj] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						record(n.Names[i], n.Values[i])
+					}
+				}
+			case *ast.KeyValueExpr:
+				record(n.Key, n.Value)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// makesBounded reports whether e is make(chan T, c) with constant c.
+func makesBounded(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if t := pass.TypesInfo.TypeOf(call.Args[0]); t == nil {
+		return false
+	} else if _, isChan := t.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[1]]
+	return ok && tv.Value != nil
+}
+
+// guardedSends returns the send statements that are comm clauses of a
+// select carrying a default or a shutdown receive arm.
+func guardedSends(pass *analysis.Pass, f *ast.File) map[*ast.SendStmt]bool {
+	out := map[*ast.SendStmt]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		exempt := false
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil || isShutdownRecv(pass, cc.Comm) {
+				exempt = true
+				break
+			}
+		}
+		if !exempt {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					out[send] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+var doneNameRE = regexp.MustCompile(`(?i)^(done|stop|quit|exit|closed|closing|shutdown)$`)
+
+// isShutdownRecv reports whether the comm statement receives from a
+// shutdown-flavored channel: <-ctx.Done(), or a done/stop/quit-named
+// channel variable.
+func isShutdownRecv(pass *analysis.Pass, comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		recv = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			recv = s.Rhs[0]
+		}
+	}
+	un, ok := recv.(*ast.UnaryExpr)
+	if !ok || un.Op != token.ARROW {
+		return false
+	}
+	switch x := un.X.(type) {
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if t := pass.TypesInfo.TypeOf(x); t != nil {
+				_, isChan := t.Underlying().(*types.Chan)
+				return isChan
+			}
+		}
+	case *ast.Ident:
+		return doneNameRE.MatchString(x.Name)
+	case *ast.SelectorExpr:
+		return doneNameRE.MatchString(x.Sel.Name)
+	}
+	return false
+}
+
+// checkDecl applies all three rules to one function declaration.
+func checkDecl(pass *analysis.Pass, dir *simdir.Directives, fd *ast.FuncDecl, bounded map[types.Object]bool, guarded map[*ast.SendStmt]bool) {
+	// Receivers anywhere in the declaration (its closures included)
+	// exempt sends: the function visibly drains what it fills.
+	declRecv := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := chanIdent(pass, n.X); obj != nil {
+					declRecv[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					if obj := chanIdent(pass, n.X); obj != nil {
+						declRecv[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Rule 1: guarded or bounded or locally drained sends.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if guarded[send] {
+			return true
+		}
+		obj := chanIdent(pass, send.Chan)
+		if obj != nil && (bounded[obj] || declRecv[obj]) {
+			return true
+		}
+		dir.Report(pass, Name, send.Pos(),
+			"unguarded send on %s can block forever once the receiver is gone; select on ctx.Done()/shutdown, use a constant-capacity buffer, or receive in this function", types.ExprString(send.Chan))
+		return true
+	})
+
+	// Rules 2 and 3 operate per closure: the declaration body and each
+	// function literal are separate units.
+	checkUnit(pass, dir, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkUnit(pass, dir, lit.Body)
+		}
+		return true
+	})
+}
+
+// checkUnit enforces close-side and double-close rules within one
+// closure, not descending into nested literals.
+func checkUnit(pass *analysis.Pass, dir *simdir.Directives, body *ast.BlockStmt) {
+	localRecv := map[types.Object]bool{}
+	var closes []*ast.CallExpr
+	var lists [][]ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := chanIdent(pass, n.X); obj != nil {
+					localRecv[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					if obj := chanIdent(pass, n.X); obj != nil {
+						localRecv[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					closes = append(closes, n)
+				}
+			}
+		case *ast.BlockStmt:
+			lists = append(lists, n.List)
+		case *ast.CaseClause:
+			lists = append(lists, n.Body)
+		case *ast.CommClause:
+			lists = append(lists, n.Body)
+		}
+		return true
+	})
+
+	// Rule 2: the closure that drains a channel must not close it.
+	for _, c := range closes {
+		if obj := chanIdent(pass, c.Args[0]); obj != nil && localRecv[obj] {
+			dir.Report(pass, Name, c.Pos(),
+				"close of %s on its receiving side; only the sender knows when the stream ends — close where the sends happen", types.ExprString(c.Args[0]))
+		}
+	}
+
+	// Rule 3: two closes in one statement list run in sequence.
+	for _, list := range lists {
+		seen := map[types.Object]bool{}
+		for _, s := range list {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "close" {
+				continue
+			}
+			obj := chanIdent(pass, call.Args[0])
+			if obj == nil {
+				continue
+			}
+			if seen[obj] {
+				dir.Report(pass, Name, call.Pos(),
+					"second close of %s on the same path panics at runtime; close exactly once", types.ExprString(call.Args[0]))
+			}
+			seen[obj] = true
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package chanlint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/chanlint"
+)
+
+func TestChanlint(t *testing.T) {
+	analyzertest.Run(t, "testdata", chanlint.Analyzer, "internal/server", "other")
+}

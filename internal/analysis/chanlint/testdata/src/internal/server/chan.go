@@ -1,0 +1,145 @@
+// Package server is a chanlint fixture standing in for the streaming
+// layers, where every send needs an exit arm and closes live on the
+// sending side.
+package server
+
+import "context"
+
+// unguardedSend can park forever once the receiver is gone.
+func unguardedSend(out chan int) {
+	out <- 1 // want `unguarded send on out can block forever`
+}
+
+// guardedSend pairs the send with a shutdown arm: clean.
+func guardedSend(ctx context.Context, out chan int) {
+	select {
+	case out <- 1:
+	case <-ctx.Done():
+		return
+	}
+}
+
+// doneGuardedSend uses a done-named channel instead of a context: clean.
+func doneGuardedSend(done chan struct{}, out chan int) {
+	select {
+	case out <- 1:
+	case <-done:
+		return
+	}
+}
+
+// defaultSend is non-blocking by construction: clean.
+func defaultSend(out chan int) {
+	select {
+	case out <- 1:
+	default:
+	}
+}
+
+// boundedSend goes to a constant-capacity buffer made right here: clean.
+func boundedSend() chan int {
+	ch := make(chan int, 1)
+	ch <- 42
+	return ch
+}
+
+// unbufferedSend makes the channel with no capacity and nobody drains
+// it in this function.
+func unbufferedSend() chan int {
+	ch := make(chan int)
+	ch <- 42 // want `unguarded send on ch can block forever`
+	return ch
+}
+
+// localPipeline fills from a goroutine and visibly drains in the same
+// declaration: clean.
+func localPipeline() int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	return <-ch
+}
+
+// fieldBounded proves identity tracking through struct fields: the
+// constructor sizes the buffer, the method sends.
+type sink struct {
+	out chan int
+}
+
+func newSink() *sink {
+	return &sink{out: make(chan int, 8)}
+}
+
+func (s *sink) push(v int) {
+	s.out <- v
+}
+
+// closeReceivingSide drains the channel and then closes it from the
+// consuming side.
+func closeReceivingSide(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	close(ch) // want `close of ch on its receiving side`
+	return total
+}
+
+// closeSendingSide is the correct shape: the producer closes when done.
+func closeSendingSide(n int) chan int {
+	ch := make(chan int, 4)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	return ch
+}
+
+// consumerGoroutine drains in a separate closure while the declaration
+// body closes after producing: different closures, clean.
+func consumerGoroutine(n int) {
+	ch := make(chan int, 4)
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+
+// doubleClose runs two closes in sequence: the second panics.
+func doubleClose(ch chan int) {
+	close(ch)
+	close(ch) // want `second close of ch on the same path`
+}
+
+// branchClose closes on mutually exclusive paths: clean.
+func branchClose(ch chan int, early bool) {
+	if early {
+		close(ch)
+	} else {
+		close(ch)
+	}
+}
+
+// allowedSend is a justified exception: the protocol guarantees a
+// receiver the analyzer cannot see.
+func allowedSend(out chan int) {
+	//simcheck:allow(chanlint) caller contract: receiver is started before any producer per the stream protocol
+	out <- 1
+}
+
+// allowedNoReason carries the marker with no justification.
+func allowedNoReason(out chan int) {
+	//simcheck:allow(chanlint) // want `needs a justification`
+	out <- 1
+}
+
+func compute() int { return 7 }
+func use(x int)    { _ = x }

@@ -1,0 +1,15 @@
+// Package other is outside chanlint's package scope: channel discipline
+// is not checked here.
+package other
+
+// unguarded would be flagged inside internal/..., but this package is
+// out of scope.
+func unguarded(out chan int) {
+	out <- 1
+}
+
+// doubleClose would be flagged too.
+func doubleClose(ch chan int) {
+	close(ch)
+	close(ch)
+}

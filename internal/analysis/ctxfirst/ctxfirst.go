@@ -36,6 +36,8 @@ import (
 // Name is the analyzer name used in diagnostics and allow directives.
 const Name = "ctxfirst"
 
+func init() { simdir.Register(Name) }
+
 // DefaultAPIPackages are the packages whose exported surface must be
 // context-first; Background/TODO and ctx-position checks apply to every
 // non-main library package.

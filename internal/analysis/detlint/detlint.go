@@ -35,6 +35,8 @@ import (
 // Name is the analyzer name used in diagnostics and allow directives.
 const Name = "detlint"
 
+func init() { simdir.Register(Name) }
+
 // DefaultPackages matches the deterministic simulation core: the
 // discrete-event engine and every model package whose output feeds paper
 // artifacts. internal/experiments, internal/cli and internal/telemetry are

@@ -29,6 +29,8 @@ import (
 // Name is the analyzer name used in diagnostics and allow directives.
 const Name = "errlint"
 
+func init() { simdir.Register(Name) }
+
 var Analyzer = &analysis.Analyzer{
 	Name: Name,
 	Doc:  "require errors.Is for Err* sentinels and errors.As for *XxxError types",

@@ -32,6 +32,8 @@ import (
 // Name is the analyzer name used in diagnostics and allow directives.
 const Name = "hotpath"
 
+func init() { simdir.Register(Name) }
+
 var Analyzer = &analysis.Analyzer{
 	Name: Name,
 	Doc:  "flag allocation-causing constructs inside //simcheck:hotpath functions",

@@ -1,0 +1,12 @@
+package leaklint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/leaklint"
+)
+
+func TestLeaklint(t *testing.T) {
+	analyzertest.Run(t, "testdata", leaklint.Analyzer, "internal/server", "other")
+}

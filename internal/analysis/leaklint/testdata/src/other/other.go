@@ -1,0 +1,23 @@
+// Package other is outside leaklint's package scope: goroutines here are
+// not lifecycle-checked, but allow-directive hygiene still runs — an
+// unknown analyzer name is a diagnostic everywhere.
+package other
+
+// spin would be flagged inside internal/..., but this package is out of
+// scope for the goroutine checks.
+func spin() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+// typoAllow names an analyzer the suite does not know: the directive
+// suppresses nothing and must say so instead of passing silently.
+func typoAllow() {
+	//simcheck:allow(leeklint) misspelled on purpose // want `unknown analyzer "leeklint"`
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,12 @@
+package locklint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/locklint"
+)
+
+func TestLocklint(t *testing.T) {
+	analyzertest.Run(t, "testdata", locklint.Analyzer, "internal/server", "other")
+}

@@ -1,0 +1,22 @@
+// Package other is outside locklint's package scope: lock discipline is
+// not checked here.
+package other
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lostLock would be flagged inside internal/..., but this package is out
+// of scope.
+func (c *counter) lostLock() {
+	c.mu.Lock()
+	c.n++
+}
+
+// byValue would be flagged too.
+func byValue(c counter) int {
+	return c.n
+}

@@ -9,10 +9,13 @@ import (
 	goanalysis "golang.org/x/tools/go/analysis"
 
 	"repro/internal/analysis/apilint"
+	"repro/internal/analysis/chanlint"
 	"repro/internal/analysis/ctxfirst"
 	"repro/internal/analysis/detlint"
 	"repro/internal/analysis/errlint"
 	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/leaklint"
+	"repro/internal/analysis/locklint"
 	"repro/internal/analysis/tracelint"
 )
 
@@ -25,5 +28,8 @@ func Analyzers() []*goanalysis.Analyzer {
 		tracelint.Analyzer,
 		errlint.Analyzer,
 		apilint.Analyzer,
+		leaklint.Analyzer,
+		locklint.Analyzer,
+		chanlint.Analyzer,
 	}
 }

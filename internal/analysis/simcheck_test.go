@@ -9,10 +9,10 @@ import (
 	simcheck "repro/internal/analysis"
 )
 
-// TestAnalyzerNamesAndDocs pins the suite composition: six analyzers,
+// TestAnalyzerNamesAndDocs pins the suite composition: nine analyzers,
 // stable names (the allow-directive grammar depends on them), docs set.
 func TestAnalyzerNamesAndDocs(t *testing.T) {
-	want := []string{"detlint", "hotpath", "ctxfirst", "tracelint", "errlint", "apilint"}
+	want := []string{"detlint", "hotpath", "ctxfirst", "tracelint", "errlint", "apilint", "leaklint", "locklint", "chanlint"}
 	as := simcheck.Analyzers()
 	if len(as) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(as), len(want))

@@ -9,18 +9,22 @@
 //	    hotpath analyzer checks every construct inside such a function
 //	    that can cause a heap allocation.
 //
-//	//simcheck:allow(<analyzer>) <justification>
+//	//simcheck:allow(<analyzer>[,<analyzer>...]) <justification>
 //	    Placed on (or on the line directly above) a flagged line, it
-//	    suppresses the named analyzer's diagnostic for that line. The
+//	    suppresses the named analyzers' diagnostics for that line. The
 //	    justification text is mandatory: an allow marker without one is
 //	    itself a diagnostic, so every suppression documents why the
-//	    invariant is safe to break at that site.
+//	    invariant is safe to break at that site. Naming an analyzer the
+//	    suite does not know is a diagnostic too (reported by leaklint,
+//	    which runs on every package), so a typo cannot silently disable
+//	    nothing.
 package simdir
 
 import (
 	"go/ast"
 	"go/token"
 	"regexp"
+	"sort"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -30,11 +34,40 @@ import (
 // allocation checking.
 const HotpathMarker = "//simcheck:hotpath"
 
-var allowRE = regexp.MustCompile(`^//simcheck:allow\(([a-zA-Z0-9_-]+)\)[ \t]*(.*)$`)
+var allowRE = regexp.MustCompile(`^//simcheck:allow\(([a-zA-Z0-9_,\- \t]+)\)[ \t]*(.*)$`)
 
-// Allow is one parsed //simcheck:allow directive.
+// known is the registry of analyzer names the suite ships. Every
+// analyzer package calls Register(Name) at init, so any process that
+// imports the suite (cmd/simcheck, the umbrella package, an analyzer's
+// own test binary) knows at least the analyzers it runs.
+var known = map[string]bool{}
+
+// Register records an analyzer name as valid in allow directives. It is
+// called from each analyzer package's init and returns the name so it
+// can be used in a package-level var initializer.
+func Register(name string) string {
+	known[name] = true
+	return name
+}
+
+// Known reports whether name is a registered analyzer name.
+func Known(name string) bool { return known[name] }
+
+// KnownNames returns the registered analyzer names, sorted.
+func KnownNames() []string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Allow is one parsed //simcheck:allow directive entry. A directive
+// naming several analyzers expands to one Allow per name, sharing the
+// position and justification.
 type Allow struct {
-	Analyzer      string    // analyzer name inside the parentheses
+	Analyzer      string    // one analyzer name from the parenthesized list
 	Justification string    // trailing free text; empty is a violation
 	Pos           token.Pos // position of the directive comment
 	File          string
@@ -57,7 +90,10 @@ func Parse(pass *analysis.Pass) *Directives {
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := allowRE.FindStringSubmatch(c.Text)
+				// CRLF sources leave the \r on the comment text; strip it
+				// so the justification does not grow an invisible suffix.
+				text := strings.TrimRight(c.Text, "\r")
+				m := allowRE.FindStringSubmatch(text)
 				if m == nil {
 					continue
 				}
@@ -67,13 +103,19 @@ func Parse(pass *analysis.Pass) *Directives {
 				if i := strings.Index(just, "//"); i >= 0 {
 					just = strings.TrimSpace(just[:i])
 				}
-				d.allows[p.Filename] = append(d.allows[p.Filename], &Allow{
-					Analyzer:      m[1],
-					Justification: just,
-					Pos:           c.Slash,
-					File:          p.Filename,
-					Line:          p.Line,
-				})
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					d.allows[p.Filename] = append(d.allows[p.Filename], &Allow{
+						Analyzer:      name,
+						Justification: just,
+						Pos:           c.Slash,
+						File:          p.Filename,
+						Line:          p.Line,
+					})
+				}
 			}
 		}
 	}
@@ -109,6 +151,33 @@ func (d *Directives) Report(pass *analysis.Pass, analyzer string, pos token.Pos,
 		return
 	}
 	pass.Reportf(pos, format, args...)
+}
+
+// ReportUnknown flags every allow directive naming an analyzer absent
+// from the registry: a misspelled name would otherwise be a silent no-op
+// suppressing nothing while looking like a documented exception. Exactly
+// one suite member (leaklint, which runs over every package) calls this,
+// so the diagnostic appears once per directive.
+func (d *Directives) ReportUnknown(pass *analysis.Pass) {
+	for _, file := range d.files() {
+		for _, a := range d.allows[file] {
+			if !known[a.Analyzer] {
+				pass.Reportf(a.Pos, "simcheck:allow names unknown analyzer %q (known: %s)",
+					a.Analyzer, strings.Join(KnownNames(), ", "))
+			}
+		}
+	}
+}
+
+// files returns the indexed filenames in sorted order so diagnostics are
+// emitted deterministically.
+func (d *Directives) files() []string {
+	files := make([]string, 0, len(d.allows))
+	for f := range d.allows {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	return files
 }
 
 // IsHotpath reports whether the function declaration carries the

@@ -1,0 +1,187 @@
+package simdir
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// newPass parses one source file and returns a minimal pass plus a
+// pointer to the collected diagnostic messages.
+func newPass(t *testing.T, src string) (*analysis.Pass, *[]string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var msgs []string
+	pass := &analysis.Pass{
+		Fset:   fset,
+		Files:  []*ast.File{f},
+		Report: func(d analysis.Diagnostic) { msgs = append(msgs, d.Message) },
+	}
+	return pass, &msgs
+}
+
+func TestParseAllowForms(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// want maps analyzer name -> justification for every Allow entry
+		// Parse should produce, in order.
+		want []Allow
+	}{
+		{
+			name: "single analyzer",
+			src:  "package p\n\n//simcheck:allow(locklint) held lock is private to this struct\nvar x int\n",
+			want: []Allow{{Analyzer: "locklint", Justification: "held lock is private to this struct", Line: 3}},
+		},
+		{
+			name: "multi-analyzer list expands to one entry per name",
+			src:  "package p\n\n//simcheck:allow(leaklint,chanlint) drained by the caller per the RunStream contract\nvar x int\n",
+			want: []Allow{
+				{Analyzer: "leaklint", Justification: "drained by the caller per the RunStream contract", Line: 3},
+				{Analyzer: "chanlint", Justification: "drained by the caller per the RunStream contract", Line: 3},
+			},
+		},
+		{
+			name: "multi-analyzer list tolerates spaces",
+			src:  "package p\n\n//simcheck:allow(leaklint, locklint,\tchanlint) one reason for all three\nvar x int\n",
+			want: []Allow{
+				{Analyzer: "leaklint", Justification: "one reason for all three", Line: 3},
+				{Analyzer: "locklint", Justification: "one reason for all three", Line: 3},
+				{Analyzer: "chanlint", Justification: "one reason for all three", Line: 3},
+			},
+		},
+		{
+			name: "CRLF line endings leave no carriage return in the justification",
+			src:  "package p\r\n\r\n//simcheck:allow(locklint) reason text\r\nvar x int\r\n",
+			want: []Allow{{Analyzer: "locklint", Justification: "reason text", Line: 3}},
+		},
+		{
+			name: "CRLF directive with empty justification stays empty",
+			src:  "package p\r\n\r\n//simcheck:allow(locklint)\r\nvar x int\r\n",
+			want: []Allow{{Analyzer: "locklint", Justification: "", Line: 3}},
+		},
+		{
+			name: "trailing comment is not a justification",
+			src:  "package p\n\n//simcheck:allow(locklint) real reason // not this part\nvar x int\n",
+			want: []Allow{{Analyzer: "locklint", Justification: "real reason", Line: 3}},
+		},
+		{
+			name: "directive on the same line as code",
+			src:  "package p\n\nvar x = 1 //simcheck:allow(locklint) same-line marker\n",
+			want: []Allow{{Analyzer: "locklint", Justification: "same-line marker", Line: 3}},
+		},
+		{
+			name: "prose mentioning the grammar is not a directive",
+			src:  "package p\n\n// use //simcheck:allow(locklint) to suppress\nvar x int\n",
+			want: nil,
+		},
+		{
+			name: "empty list item is dropped",
+			src:  "package p\n\n//simcheck:allow(locklint,) reason\nvar x int\n",
+			want: []Allow{{Analyzer: "locklint", Justification: "reason", Line: 3}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pass, _ := newPass(t, tc.src)
+			d := Parse(pass)
+			var got []Allow
+			for _, file := range d.files() {
+				for _, a := range d.allows[file] {
+					got = append(got, Allow{Analyzer: a.Analyzer, Justification: a.Justification, Line: a.Line})
+				}
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("parsed %d allow entries, want %d: %+v", len(got), len(tc.want), got)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("entry %d = %+v, want %+v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestReportSuppression(t *testing.T) {
+	reg := Register("faketestlint")
+	t.Cleanup(func() { delete(known, reg) })
+
+	t.Run("same-line directive suppresses", func(t *testing.T) {
+		pass, msgs := newPass(t, "package p\n\nvar x = 1 //simcheck:allow(faketestlint) same line\n")
+		d := Parse(pass)
+		d.Report(pass, "faketestlint", pass.Files[0].Decls[0].Pos(), "should be suppressed")
+		if len(*msgs) != 0 {
+			t.Fatalf("diagnostics = %v, want none", *msgs)
+		}
+	})
+
+	t.Run("line-above directive suppresses", func(t *testing.T) {
+		pass, msgs := newPass(t, "package p\n\n//simcheck:allow(faketestlint) line above\nvar x = 1\n")
+		d := Parse(pass)
+		d.Report(pass, "faketestlint", pass.Files[0].Decls[0].Pos(), "should be suppressed")
+		if len(*msgs) != 0 {
+			t.Fatalf("diagnostics = %v, want none", *msgs)
+		}
+	})
+
+	t.Run("directive for a different analyzer does not suppress", func(t *testing.T) {
+		pass, msgs := newPass(t, "package p\n\n//simcheck:allow(faketestlint) wrong analyzer\nvar x = 1\n")
+		d := Parse(pass)
+		d.Report(pass, "otherlint", pass.Files[0].Decls[0].Pos(), "must surface")
+		if len(*msgs) != 1 || (*msgs)[0] != "must surface" {
+			t.Fatalf("diagnostics = %v, want [must surface]", *msgs)
+		}
+	})
+
+	t.Run("empty justification is reported exactly once", func(t *testing.T) {
+		pass, msgs := newPass(t, "package p\n\n//simcheck:allow(faketestlint)\nvar x = 1\n")
+		d := Parse(pass)
+		pos := pass.Files[0].Decls[0].Pos()
+		d.Report(pass, "faketestlint", pos, "first")
+		d.Report(pass, "faketestlint", pos, "second")
+		if len(*msgs) != 1 || !strings.Contains((*msgs)[0], "needs a justification") {
+			t.Fatalf("diagnostics = %v, want one needs-a-justification report", *msgs)
+		}
+	})
+}
+
+func TestReportUnknown(t *testing.T) {
+	reg := Register("faketestlint")
+	t.Cleanup(func() { delete(known, reg) })
+
+	t.Run("unknown analyzer name is a diagnostic", func(t *testing.T) {
+		pass, msgs := newPass(t, "package p\n\n//simcheck:allow(nosuchlint) typo of a real name\nvar x = 1\n")
+		d := Parse(pass)
+		d.ReportUnknown(pass)
+		if len(*msgs) != 1 || !strings.Contains((*msgs)[0], `unknown analyzer "nosuchlint"`) {
+			t.Fatalf("diagnostics = %v, want one unknown-analyzer report", *msgs)
+		}
+	})
+
+	t.Run("registered names pass silently", func(t *testing.T) {
+		pass, msgs := newPass(t, "package p\n\n//simcheck:allow(faketestlint) fine\nvar x = 1\n")
+		d := Parse(pass)
+		d.ReportUnknown(pass)
+		if len(*msgs) != 0 {
+			t.Fatalf("diagnostics = %v, want none", *msgs)
+		}
+	})
+
+	t.Run("one unknown name in a multi-analyzer list is still caught", func(t *testing.T) {
+		pass, msgs := newPass(t, "package p\n\n//simcheck:allow(faketestlint,nosuchlint) half right\nvar x = 1\n")
+		d := Parse(pass)
+		d.ReportUnknown(pass)
+		if len(*msgs) != 1 || !strings.Contains((*msgs)[0], `"nosuchlint"`) {
+			t.Fatalf("diagnostics = %v, want exactly the unknown half flagged", *msgs)
+		}
+	})
+}

@@ -43,6 +43,8 @@ import (
 // Name is the analyzer name used in diagnostics and allow directives.
 const Name = "tracelint"
 
+func init() { simdir.Register(Name) }
+
 var Analyzer = &analysis.Analyzer{
 	Name: Name,
 	Doc:  "require literal, namespaced event and metric names at every internal/telemetry call site",

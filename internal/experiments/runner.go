@@ -185,55 +185,90 @@ func (r *Runner) workers() chan struct{} {
 func (r *Runner) Run(ctx context.Context, spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
 	key := RunKey{Machine: spec.Name, Program: program, Class: class, Cores: cores, Scale: r.Tuning.RefScale}
 
+	c := r.claim(key)
+	if c.outcome != "" {
+		r.report(c.outcome, spec, program, class, cores, 0, 0, c.res)
+		return c.res, nil
+	}
+	if !c.owner {
+		// Another goroutine is already simulating this key: wait for it
+		// rather than duplicating the run or blocking the whole cache.
+		return r.waitShared(ctx, key, c.fl, spec, program, class, cores)
+	}
+	fl := c.fl
+
+	fl.res, fl.err = r.execute(ctx, key, spec, program, class, cores)
+
+	r.settle(key, fl)
+	close(fl.done)
+	if fl.err == nil {
+		r.appendJournal(key, fl.res)
+	}
+	return fl.res, fl.err
+}
+
+// runClaim is what one Run call found under the lock: a finished result
+// (outcome non-empty), an in-flight run to wait on, or — with owner set —
+// a freshly registered run this call must execute and settle.
+type runClaim struct {
+	res     sim.Result
+	outcome string
+	fl      *inflightRun
+	owner   bool
+}
+
+// claim performs the lock-held cache and in-flight lookup for one key,
+// registering a new in-flight run when this call is first.
+func (r *Runner) claim(key RunKey) runClaim {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if res, ok := r.cache[key]; ok {
 		outcome := outcomeCache
 		if r.resumed[key] {
 			delete(r.resumed, key)
 			outcome = outcomeResumed
 		}
-		r.mu.Unlock()
-		r.report(outcome, spec, program, class, cores, 0, 0, res)
-		return res, nil
+		return runClaim{res: res, outcome: outcome}
 	}
 	if fl, ok := r.inflight[key]; ok {
-		// Another goroutine is already simulating this key: wait for it
-		// rather than duplicating the run or blocking the whole cache.
-		r.mu.Unlock()
-		dspan := r.startSpanDedupWait(ctx)
-		start := time.Now()
-		select {
-		case <-fl.done:
-		case <-ctx.Done():
-			dspan.End("canceled", true)
-			r.noteCanceled(ctx, key, "dedup-wait")
-			return sim.Result{}, fmt.Errorf("experiments: run %s %s.%s n=%d: %w",
-				key.Machine, key.Program, key.Class, key.Cores, ctx.Err())
-		}
-		dspan.End()
-		if fl.err == nil {
-			r.report(outcomeDedup, spec, program, class, cores, time.Since(start), 0, fl.res)
-		}
-		return fl.res, fl.err
+		return runClaim{fl: fl}
 	}
 	fl := &inflightRun{done: make(chan struct{})}
 	if r.inflight == nil {
 		r.inflight = make(map[RunKey]*inflightRun)
 	}
 	r.inflight[key] = fl
-	r.mu.Unlock()
+	return runClaim{fl: fl, owner: true}
+}
 
-	fl.res, fl.err = r.execute(ctx, key, spec, program, class, cores)
-
+// settle publishes a finished owner run: cache the result on success and
+// retire the in-flight entry. The caller closes fl.done after this
+// returns, so waiters always observe the settled state.
+func (r *Runner) settle(key RunKey, fl *inflightRun) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if fl.err == nil {
 		r.cache[key] = fl.res
 	}
 	delete(r.inflight, key)
-	r.mu.Unlock()
-	close(fl.done)
+}
+
+// waitShared blocks on another caller's in-flight simulation of key
+// until it settles or ctx is canceled.
+func (r *Runner) waitShared(ctx context.Context, key RunKey, fl *inflightRun, spec machine.Spec, program string, class workload.Class, cores int) (sim.Result, error) {
+	dspan := r.startSpanDedupWait(ctx)
+	start := time.Now()
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		dspan.End("canceled", true)
+		r.noteCanceled(ctx, key, "dedup-wait")
+		return sim.Result{}, fmt.Errorf("experiments: run %s %s.%s n=%d: %w",
+			key.Machine, key.Program, key.Class, key.Cores, ctx.Err())
+	}
+	dspan.End()
 	if fl.err == nil {
-		r.appendJournal(key, fl.res)
+		r.report(outcomeDedup, spec, program, class, cores, time.Since(start), 0, fl.res)
 	}
 	return fl.res, fl.err
 }
@@ -528,6 +563,7 @@ func (r *Runner) RunStream(ctx context.Context, items []RunItem) <-chan StreamRe
 		go func(i int, it RunItem) {
 			defer wg.Done()
 			res, err := r.Run(ctx, it.Spec, it.Program, it.Class, it.Cores)
+			//simcheck:allow(chanlint) RunStream's contract is that the caller drains out; a ctx.Done arm here would drop settled frames whose admission tokens the curve handler releases per frame, and cancel already fails remaining items promptly
 			out <- StreamResult{Index: i, Res: res, Err: err}
 		}(i, it)
 	}
@@ -598,6 +634,7 @@ func (r *Runner) SweepAsync(ctx context.Context, spec machine.Spec, program stri
 		err  error
 	}
 	ch := make(chan outcome, 1)
+	//simcheck:allow(leaklint) terminates when RunAll settles, which cancel guarantees; the outcome channel is buffered(1) so the final send never parks
 	go func() {
 		results, err := r.RunAll(ctx, items)
 		if err != nil {

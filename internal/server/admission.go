@@ -47,20 +47,14 @@ func newAdmitter(global, perTenant int) *admitter {
 // Acquire takes one token for tenant, or reports which scope is full.
 // It never blocks: admission control sheds instead of queueing.
 func (a *admitter) Acquire(tenant string) (ok bool, scope string) {
-	a.mu.Lock()
-	if a.inUse[tenant] >= a.perTenant {
-		a.mu.Unlock()
+	if !a.reserveTenant(tenant) {
 		return false, api.ScopeTenant
 	}
-	a.inUse[tenant]++
-	a.mu.Unlock()
 	select {
 	case a.global <- struct{}{}:
 		return true, ""
 	default:
-		a.mu.Lock()
-		a.dec(tenant)
-		a.mu.Unlock()
+		a.releaseTenant(tenant)
 		return false, api.ScopeGlobal
 	}
 }
@@ -68,9 +62,25 @@ func (a *admitter) Acquire(tenant string) (ok bool, scope string) {
 // Release returns tenant's token.
 func (a *admitter) Release(tenant string) {
 	<-a.global
+	a.releaseTenant(tenant)
+}
+
+// reserveTenant takes one slot of tenant's bucket, or reports it full.
+func (a *admitter) reserveTenant(tenant string) bool {
 	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inUse[tenant] >= a.perTenant {
+		return false
+	}
+	a.inUse[tenant]++
+	return true
+}
+
+// releaseTenant returns one slot of tenant's bucket.
+func (a *admitter) releaseTenant(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.dec(tenant)
-	a.mu.Unlock()
 }
 
 // dec decrements a tenant's hold count, deleting the entry at zero.

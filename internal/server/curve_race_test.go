@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// TestCurveAdmissionReleaseUnderCancel stresses the curve handler's
+// per-point admission accounting on the 499 path: a crowd of clients
+// posts streaming curves whose every point needs a simulation token,
+// then vanishes mid-request with jittered timeouts while the simulation
+// tier is gated shut. When the gate opens, each granted point settles
+// through the PredictStream callback with a canceled context — and the
+// callback must release exactly one token per point regardless, so the
+// bucket drains back to zero and no tenant stays charged for a client
+// that is long gone.
+//
+// Run it under the race detector and repetition to shake interleavings:
+//
+//	go test -race -count=3 ./internal/server -run TestCurveAdmissionReleaseUnderCancel
+//
+// (the iterations below multiply with -count; `make race` covers it in
+// the tier-1 gate).
+func TestCurveAdmissionReleaseUnderCancel(t *testing.T) {
+	const (
+		clients    = 8
+		iterations = 3
+	)
+	// Every core count declines analytically, so all four points of each
+	// request charge the admission bucket.
+	decline := map[int]bool{2: true, 4: true, 6: true, 8: true}
+	body := `{"machine":"IntelUMA8","program":"CG","class":"W","cores":[2,4,6,8]}`
+
+	for iter := 0; iter < iterations; iter++ {
+		gate := make(chan struct{})
+		stub := &stubPredictor{declineSet: decline, gate: gate}
+		srv := newStubServer(stub, clients*4)
+		ts := httptest.NewServer(srv.Handler())
+
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				// Jittered deadlines cancel clients at different phases:
+				// pre-admission, parked at the simulation gate, or already
+				// disconnected before the server wrote a byte.
+				timeout := time.Duration(1+c%5) * time.Millisecond
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				defer cancel()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					ts.URL+api.PathCurve, strings.NewReader(body))
+				if err != nil {
+					t.Errorf("building request: %v", err)
+					return
+				}
+				req.Header.Set("Accept", api.ContentTypeNDJSON)
+				req.Header.Set(api.HeaderTenant, fmt.Sprintf("tenant-%d", c%3))
+				resp, err := ts.Client().Do(req)
+				if err != nil {
+					return // canceled before headers: the point of the test
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}(c)
+		}
+
+		// Let the timeouts fire while every handler is still parked at the
+		// gate, then open the simulation tier and let the canceled points
+		// settle.
+		time.Sleep(20 * time.Millisecond)
+		close(gate)
+		wg.Wait()
+
+		// Clients are gone but handlers may still be walking their
+		// callbacks; the tokens must all come home promptly.
+		deadline := time.Now().Add(5 * time.Second)
+		for srv.adm.Depth() != 0 || srv.adm.Tenants() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("iteration %d: admission tokens leaked after cancel storm: depth=%d tenants=%d",
+					iter, srv.adm.Depth(), srv.adm.Tenants())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		ts.Close()
+	}
+}

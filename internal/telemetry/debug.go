@@ -45,6 +45,7 @@ func StartDebugServer(addr string, reg *Registry) (string, func() error, error) 
 		publishExpvar(reg)
 	}
 	srv := &http.Server{Handler: mux}
+	//simcheck:allow(leaklint) Serve returns when the listener is closed via the returned srv.Close hook
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }
